@@ -1,0 +1,83 @@
+// Command benchrunner regenerates the paper's tables and figures from the
+// simulated reproduction. Each experiment prints the same rows/series the
+// paper reports (see DESIGN.md §3 for the experiment index).
+//
+// Usage:
+//
+//	benchrunner -list                 # show available experiments
+//	benchrunner -exp fig8b            # run one experiment (quick preset)
+//	benchrunner -exp fig10 -paper     # run at the paper's full scale
+//	benchrunner -all                  # run every experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"eslurm/internal/experiment"
+)
+
+func main() {
+	var (
+		expID  = flag.String("exp", "", "experiment ID to run (see -list)")
+		all    = flag.Bool("all", false, "run every experiment")
+		paper  = flag.Bool("paper", false, "use the paper-scale preset (slow: full node counts)")
+		list   = flag.Bool("list", false, "list available experiments")
+		csvDir = flag.String("csv", "", "also write the Fig. 7/9 time-series CSVs into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("available experiments:")
+		for _, s := range experiment.Registry() {
+			fmt.Printf("  %-10s %s\n", s.ID, s.Artifact)
+		}
+		return
+	}
+
+	params := experiment.QuickParams()
+	preset := "quick"
+	if *paper {
+		params = experiment.PaperParams()
+		preset = "paper-scale"
+	}
+
+	run := func(s experiment.Spec) {
+		start := time.Now()
+		fmt.Printf("-- running %s (%s, %s preset)\n", s.ID, s.Artifact, preset)
+		for _, tb := range s.Run(params) {
+			tb.Fprint(os.Stdout)
+		}
+		fmt.Printf("-- %s done in %s\n\n", s.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *csvDir != "" {
+		fmt.Printf("-- writing figure time series to %s\n", *csvDir)
+		if err := experiment.WriteFigureSeries(*csvDir, params); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *expID == "" && !*all {
+			return
+		}
+	}
+
+	switch {
+	case *all:
+		for _, s := range experiment.Registry() {
+			run(s)
+		}
+	case *expID != "":
+		s, ok := experiment.Lookup(*expID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *expID)
+			os.Exit(1)
+		}
+		run(s)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

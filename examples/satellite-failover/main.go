@@ -1,0 +1,91 @@
+// Satellite-failover: the Section III-C fault-tolerance story. Watch the
+// satellite state machine (Fig. 2) as satellites fail: broadcast tasks are
+// reallocated round-robin, the master takes over when reallocation runs
+// out, FAULTed satellites recover via heartbeats or are demoted to DOWN
+// after the timeout.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"eslurm/internal/cluster"
+	"eslurm/internal/comm"
+	"eslurm/internal/core"
+	"eslurm/internal/simnet"
+)
+
+func states(m *core.Master, c *cluster.Cluster) string {
+	out := ""
+	for i, id := range c.Satellites() {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("sat%d=%v", i+1, m.Pool.Get(id).State())
+	}
+	return out
+}
+
+func broadcast(e *simnet.Engine, m *core.Master, c *cluster.Cluster, label string) {
+	var res comm.Result
+	got := false
+	m.Broadcast(c.Computes(), 2048, func(r comm.Result) { res = r; got = true })
+	e.RunUntil(e.Now() + 5*time.Minute)
+	st := m.Stats()
+	status := "never completed"
+	if got {
+		status = fmt.Sprintf("delivered %d/%d in %v", res.Delivered, len(c.Computes()),
+			res.DeliveredElapsed.Round(time.Millisecond))
+	}
+	fmt.Printf("%-28s %s | realloc=%d takeover=%d | %s\n",
+		label+":", status, st.Reallocations, st.MasterTakeovers, states(m, c))
+}
+
+func main() {
+	e := simnet.NewEngine(11)
+	c := cluster.New(e, cluster.Config{Computes: 1024, Satellites: 3})
+	cfg := core.DefaultConfig()
+	cfg.TaskTimeout = 30 * time.Second // snappy watchdog for the demo
+	m := core.NewMaster(c, cfg, nil)
+	m.Start()
+	e.RunUntil(time.Second)
+	fmt.Printf("boot: %s\n\n", states(m, c))
+
+	broadcast(e, m, c, "all satellites healthy")
+
+	// Kill one satellite: its tasks reallocate to the next in the
+	// round-robin (Section III-C, at most ReallocLimit=2 trails).
+	fmt.Println("\n-- killing satellite 1 --")
+	c.Fail(c.Satellites()[0])
+	broadcast(e, m, c, "one satellite down")
+
+	// Kill the rest: the master takes the broadcast over itself,
+	// "ensuring that the task is processed correctly and promptly".
+	fmt.Println("\n-- killing satellites 2 and 3 --")
+	c.Fail(c.Satellites()[1])
+	c.Fail(c.Satellites()[2])
+	broadcast(e, m, c, "all satellites down")
+
+	// Recover two satellites: heartbeats promote FAULT -> RUNNING.
+	fmt.Println("\n-- recovering satellites 1 and 2 --")
+	c.Recover(c.Satellites()[0])
+	c.Recover(c.Satellites()[1])
+	e.RunUntil(e.Now() + 2*m.Config().HeartbeatInterval)
+	fmt.Printf("after heartbeats: %s\n", states(m, c))
+	broadcast(e, m, c, "two satellites back")
+
+	// Leave satellite 3 dead past the FAULT timeout: TIMEOUT demotes it
+	// to DOWN, requiring administrator intervention (Reinstate).
+	fmt.Println("\n-- waiting out the 20-minute FAULT timeout for satellite 3 --")
+	e.RunUntil(e.Now() + 25*time.Minute)
+	fmt.Printf("after timeout: %s\n", states(m, c))
+	sat3 := m.Pool.Get(c.Satellites()[2])
+	c.Recover(c.Satellites()[2])
+	e.RunUntil(e.Now() + 2*m.Config().HeartbeatInterval)
+	fmt.Printf("recovered but still DOWN (admin needed): sat3=%v\n", sat3.State())
+	sat3.Reinstate()
+	e.RunUntil(e.Now() + 2*m.Config().HeartbeatInterval)
+	fmt.Printf("after Reinstate + heartbeat: sat3=%v\n", sat3.State())
+
+	broadcast(e, m, c, "\nfull pool restored")
+}

@@ -1,0 +1,54 @@
+// Scheduling-trace: replay a synthetic Tianhe-2A workload through the
+// backfill scheduler under three configurations — FCFS, EASY backfill
+// with user walltimes, and EASY backfill with the ESlurm runtime-
+// estimation framework — and compare the Fig. 10 metrics.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"eslurm/internal/estimate"
+	"eslurm/internal/sched"
+	"eslurm/internal/trace"
+)
+
+func main() {
+	const nodes = 1024
+	cfg := trace.Tianhe2AConfig(5000)
+	cfg.MaxNodes = nodes
+	tr := trace.Generate(cfg)
+	fmt.Printf("workload: %d jobs over %v on a %d-node cluster\n",
+		len(tr.Jobs), tr.Duration().Round(time.Hour), nodes)
+	fmt.Printf("user overestimation: %.0f%% of jobs request more walltime than they use\n\n",
+		100*tr.OverestimateFraction())
+
+	type runCfg struct {
+		name string
+		cfg  sched.Config
+	}
+	runs := []runCfg{
+		{"FCFS + user walltimes", sched.Config{
+			Nodes: nodes, Policy: sched.FCFS, KillAtLimit: true}},
+		{"EASY backfill + user walltimes", sched.Config{
+			Nodes: nodes, Policy: sched.Backfill, KillAtLimit: true}},
+		{"EASY backfill + ESlurm estimator", sched.Config{
+			Nodes: nodes, Policy: sched.Backfill, KillAtLimit: true,
+			Predictor: sched.FrameworkWalltimes{F: estimate.NewFramework(estimate.FrameworkConfig{})}}},
+	}
+
+	fmt.Printf("%-34s %-12s %-10s %-10s %-10s %s\n",
+		"configuration", "utilization", "avg wait", "slowdown", "completed", "killed")
+	for _, r := range runs {
+		res := sched.Run(tr.Jobs, r.cfg)
+		fmt.Printf("%-34s %-12s %-10v %-10.1f %-10d %d\n",
+			r.name, fmt.Sprintf("%.1f%%", 100*res.Utilization),
+			res.AvgWait.Round(time.Second), res.AvgBoundedSlowdown,
+			res.Completed, res.Killed)
+	}
+
+	fmt.Println("\nThe estimator tightens the walltimes EASY plans with (lower waits)")
+	fmt.Println("and rescues user-underestimated jobs whose model estimate is larger —")
+	fmt.Println("far fewer walltime kills. The α=1.05 slack keeps the model itself")
+	fmt.Println("from underestimating (Section V, Table VIII).")
+}

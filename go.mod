@@ -1,0 +1,3 @@
+module eslurm
+
+go 1.22

@@ -1,0 +1,96 @@
+// Integration tests: run miniature versions of every registered experiment
+// end-to-end, guarding the whole pipeline (trace generation → simulation →
+// drivers → table rendering) rather than any single package.
+package eslurm_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"eslurm/internal/experiment"
+)
+
+// tinyParams shrinks every experiment far below the quick preset so the
+// whole registry runs in seconds under `go test`.
+func tinyParams() experiment.Params {
+	return experiment.Params{
+		Fig5Jobs: 3000, Fig11bJobs: 1200, Table8Jobs: 0, // Table8 handled separately
+		Fig7Nodes: 256, Fig7Span: 5 * time.Minute,
+		Fig9Nodes: 512, Fig9Span: 5 * time.Minute,
+		T56Nodes: 512, T56Span: 10 * time.Minute, T56Sats: []int{2, 4},
+		Fig7fNodes: 256, Fig8Nodes: 256, Fig11aNodes: 512,
+		PlaceNodes: 256, PlaceDays: 1,
+		Fig10Scales: []int{128}, Fig10Jobs: 400,
+		AblationScale: 128, AblationJobs: 400,
+	}
+}
+
+func TestEveryExperimentRunsAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the whole registry")
+	}
+	p := tinyParams()
+	for _, spec := range experiment.Registry() {
+		spec := spec
+		if spec.ID == "table8" || spec.ID == "fig11b" {
+			// The estimator replays are the slow ones; they get their own
+			// richer tests in internal/estimate and internal/experiment.
+			continue
+		}
+		t.Run(spec.ID, func(t *testing.T) {
+			tables := spec.Run(p)
+			if len(tables) == 0 {
+				t.Fatal("no tables produced")
+			}
+			for _, tb := range tables {
+				if tb.ID == "" || tb.Title == "" {
+					t.Errorf("table missing identity: %+v", tb)
+				}
+				if len(tb.Columns) == 0 || len(tb.Rows) == 0 {
+					t.Errorf("table %s has no data", tb.ID)
+				}
+				for _, row := range tb.Rows {
+					if len(row) > len(tb.Columns) {
+						t.Errorf("table %s row wider than header: %v", tb.ID, row)
+					}
+					for _, cell := range row {
+						if strings.TrimSpace(cell) == "" {
+							t.Errorf("table %s has an empty cell in %v", tb.ID, row)
+						}
+					}
+				}
+				var sb strings.Builder
+				tb.Fprint(&sb)
+				if !strings.Contains(sb.String(), tb.ID) {
+					t.Errorf("rendered table missing its ID")
+				}
+			}
+		})
+	}
+}
+
+func TestExperimentDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs drivers twice")
+	}
+	// The same driver at the same params yields byte-identical tables.
+	p := tinyParams()
+	for _, id := range []string{"fig8b", "fig7f", "placement"} {
+		spec, ok := experiment.Lookup(id)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		render := func() string {
+			var sb strings.Builder
+			for _, tb := range spec.Run(p) {
+				tb.Fprint(&sb)
+			}
+			return sb.String()
+		}
+		a, b := render(), render()
+		if a != b {
+			t.Errorf("%s is nondeterministic:\n%s\n---\n%s", id, a, b)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package cluster
+
+import (
+	"math/rand"
+	"time"
+)
+
+// NetConfig parameterizes the latency model. The defaults approximate the
+// Tianhe proprietary interconnect described in the paper's appendix (25
+// Gbps per four-lane port, 100 Gbps one-port one-way) plus TCP/daemon
+// software overheads, which dominate RM control traffic.
+type NetConfig struct {
+	// ConnectCost is the time to establish a TCP connection to a healthy
+	// node (handshake + daemon accept).
+	ConnectCost time.Duration
+	// Latency is the one-way propagation + protocol latency per message.
+	Latency time.Duration
+	// BandwidthBps is the per-link bandwidth in bytes per second used to
+	// compute serialization delay for a message of a given size.
+	BandwidthBps float64
+	// ConnectTimeout is how long a sender waits before concluding the peer
+	// is dead (per attempt). The comm layer retries on top of this.
+	ConnectTimeout time.Duration
+	// Jitter is the maximum uniform random extra latency per message,
+	// modelling OS scheduling and congestion noise.
+	Jitter time.Duration
+}
+
+// DefaultNetConfig returns the calibration used across the experiments.
+func DefaultNetConfig() NetConfig {
+	return NetConfig{
+		ConnectCost:    300 * time.Microsecond,
+		Latency:        150 * time.Microsecond,
+		BandwidthBps:   1.5e9, // ~12 Gbps effective for control-plane TCP
+		ConnectTimeout: 1 * time.Second,
+		Jitter:         100 * time.Microsecond,
+	}
+}
+
+func (c NetConfig) withDefaults() NetConfig {
+	d := DefaultNetConfig()
+	if c.ConnectCost == 0 {
+		c.ConnectCost = d.ConnectCost
+	}
+	if c.Latency == 0 {
+		c.Latency = d.Latency
+	}
+	if c.BandwidthBps == 0 {
+		c.BandwidthBps = d.BandwidthBps
+	}
+	if c.ConnectTimeout == 0 {
+		c.ConnectTimeout = d.ConnectTimeout
+	}
+	if c.Jitter == 0 {
+		c.Jitter = d.Jitter
+	}
+	return c
+}
+
+// Network delivers messages between nodes of one cluster with a
+// latency+bandwidth cost model and fail-stop semantics: a message to a
+// failed node costs the sender the connect timeout and reports failure.
+type Network struct {
+	cluster *Cluster
+	cfg     NetConfig
+	rng     *rand.Rand
+}
+
+func newNetwork(c *Cluster, cfg NetConfig) *Network {
+	return &Network{cluster: c, cfg: cfg.withDefaults(), rng: c.Engine.Rand("cluster/network")}
+}
+
+// Config returns the effective network configuration.
+func (n *Network) Config() NetConfig { return n.cfg }
+
+// TransferTime returns the modelled one-way delivery time for a healthy
+// message of size bytes, excluding jitter and connection setup.
+func (n *Network) TransferTime(size int) time.Duration {
+	ser := time.Duration(float64(size) / n.cfg.BandwidthBps * float64(time.Second))
+	return n.cfg.Latency + ser
+}
+
+// Send models one message from -> to carrying size bytes.
+//
+// If the destination is healthy at delivery time, onDelivered fires at the
+// delivery instant. If the destination is failed (at send or delivery
+// time), onFailed fires after the connect timeout — the sender blocks for
+// the timeout, exactly the behaviour that makes failed interior tree nodes
+// expensive (Section IV). Either callback may be nil. Sockets and message
+// counters on both meters are maintained here so every RM model accounts
+// traffic uniformly.
+func (n *Network) Send(from, to NodeID, size int, onDelivered func(), onFailed func()) {
+	e := n.cluster.Engine
+	src := n.cluster.Node(from)
+	dst := n.cluster.Node(to)
+
+	src.Meter.CountMessage(true, size)
+	src.Meter.OpenSocket()
+
+	if dst.failed {
+		e.After(n.cfg.ConnectTimeout, func() {
+			src.Meter.CloseSocket()
+			if onFailed != nil {
+				onFailed()
+			}
+		})
+		return
+	}
+
+	d := n.cfg.ConnectCost + n.TransferTime(size)
+	if n.cfg.Jitter > 0 {
+		d += time.Duration(n.rng.Int63n(int64(n.cfg.Jitter) + 1))
+	}
+	e.After(d, func() {
+		// The destination may have failed while the message was in flight.
+		if dst.failed {
+			// Remaining time until the sender's timeout expires.
+			rest := n.cfg.ConnectTimeout - d
+			if rest < 0 {
+				rest = 0
+			}
+			e.After(rest, func() {
+				src.Meter.CloseSocket()
+				if onFailed != nil {
+					onFailed()
+				}
+			})
+			return
+		}
+		dst.Meter.CountMessage(false, size)
+		dst.Meter.OpenSocket()
+		src.Meter.CloseSocket()
+		// The receiving daemon holds its accept socket briefly while
+		// processing.
+		e.After(n.cfg.Latency, func() { dst.Meter.CloseSocket() })
+		if onDelivered != nil {
+			onDelivered()
+		}
+	})
+}
+
+// SendPersistent models traffic over an already-established long-lived
+// connection (e.g. SGE's persistent execd channels): no connect cost and no
+// per-message socket churn — the caller is responsible for having opened
+// the socket once.
+func (n *Network) SendPersistent(from, to NodeID, size int, onDelivered func(), onFailed func()) {
+	e := n.cluster.Engine
+	src := n.cluster.Node(from)
+	dst := n.cluster.Node(to)
+	src.Meter.CountMessage(true, size)
+	if dst.failed {
+		e.After(n.cfg.ConnectTimeout, func() {
+			if onFailed != nil {
+				onFailed()
+			}
+		})
+		return
+	}
+	d := n.TransferTime(size)
+	if n.cfg.Jitter > 0 {
+		d += time.Duration(n.rng.Int63n(int64(n.cfg.Jitter) + 1))
+	}
+	e.After(d, func() {
+		if dst.failed {
+			if onFailed != nil {
+				onFailed()
+			}
+			return
+		}
+		dst.Meter.CountMessage(false, size)
+		if onDelivered != nil {
+			onDelivered()
+		}
+	})
+}

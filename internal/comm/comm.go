@@ -1,0 +1,526 @@
+// Package comm implements the five communication structures compared in
+// Section VII-A (Fig. 8b): ring, star, shared-memory, plain k-ary tree and
+// the FP-Tree, all with identical fault-tolerance semantics so the
+// comparison isolates the structure itself — exactly as the paper does
+// ("we separate the communication structure from RM and reproduce various
+// structures using the same techniques ... the number of retries for
+// connection failure is set to three").
+//
+// A broadcast delivers one payload from an origin node to a set of target
+// nodes. A delivery to a failed node costs the sender the connect timeout
+// per attempt; after Retries attempts the target is declared unreachable.
+// For relay structures (ring, tree) the fault-tolerance mechanism then
+// re-routes around the failed node: the ring skips it, the tree parent
+// adopts the failed child's subtree.
+package comm
+
+import (
+	"time"
+
+	"eslurm/internal/cluster"
+	"eslurm/internal/fptree"
+	"eslurm/internal/predict"
+	"eslurm/internal/simnet"
+)
+
+// Result summarizes one completed broadcast.
+type Result struct {
+	// Delivered is the number of targets that received the payload.
+	Delivered int
+	// Unreachable lists targets that could not be reached after retries.
+	Unreachable []cluster.NodeID
+	// Elapsed is the time from broadcast start to the last delivery or
+	// final failure determination, i.e. when the whole task resolves.
+	Elapsed time.Duration
+	// DeliveredElapsed is the time from broadcast start until the last
+	// *successful* delivery — the "message broadcast time" the paper plots
+	// (the message has reached every reachable node; timeout bookkeeping
+	// for dead leaves may still be draining).
+	DeliveredElapsed time.Duration
+	// Messages is the total number of link messages sent, including
+	// retries.
+	Messages int
+	// Retries is the number of retry attempts performed.
+	Retries int
+}
+
+// Broadcaster carries the shared mechanics (retry count, per-message daemon
+// costs, per-node connection limits) used by every structure.
+type Broadcaster struct {
+	Cluster *cluster.Cluster
+	// Retries is the number of connection attempts per link (paper: 3).
+	Retries int
+	// SendOverhead is the sender-side CPU/dispatch cost to initiate one
+	// message (serialization, thread hand-off).
+	SendOverhead time.Duration
+	// RelayOverhead is the receiver-side processing cost before a relay
+	// node forwards to its children.
+	RelayOverhead time.Duration
+	// MaxConcurrent caps simultaneous outstanding connections per sender
+	// (daemon thread-pool / fd limit). Star broadcasts from one origin are
+	// throttled by this; tree fan-outs (≤ width) rarely are.
+	MaxConcurrent int
+	// PerNodeListBytes is the wire overhead per participant carried in
+	// relay messages (the sub-nodelist).
+	PerNodeListBytes int
+
+	limiters map[cluster.NodeID]*limiter
+}
+
+// NewBroadcaster returns a Broadcaster with the paper's defaults.
+func NewBroadcaster(c *cluster.Cluster) *Broadcaster {
+	return &Broadcaster{
+		Cluster:          c,
+		Retries:          3,
+		SendOverhead:     30 * time.Microsecond,
+		RelayOverhead:    200 * time.Microsecond,
+		MaxConcurrent:    128,
+		PerNodeListBytes: 16,
+		limiters:         make(map[cluster.NodeID]*limiter),
+	}
+}
+
+func (b *Broadcaster) engine() *simnet.Engine { return b.Cluster.Engine }
+
+// limiter serializes access to a sender's connection slots.
+type limiter struct {
+	max   int
+	inUse int
+	queue []func()
+}
+
+func (b *Broadcaster) limiter(id cluster.NodeID) *limiter {
+	l, ok := b.limiters[id]
+	if !ok {
+		l = &limiter{max: b.MaxConcurrent}
+		b.limiters[id] = l
+	}
+	return l
+}
+
+func (l *limiter) acquire(fn func()) {
+	if l.inUse < l.max {
+		l.inUse++
+		fn()
+		return
+	}
+	l.queue = append(l.queue, fn)
+}
+
+func (l *limiter) release() {
+	if len(l.queue) > 0 {
+		next := l.queue[0]
+		l.queue = l.queue[1:]
+		next()
+		return
+	}
+	l.inUse--
+}
+
+// send delivers one message with retries, occupying a connection slot of
+// the sender from dispatch until resolution. cb receives true on delivery.
+func (b *Broadcaster) send(from, to cluster.NodeID, size int, res *Result, cb func(ok bool)) {
+	e := b.engine()
+	lim := b.limiter(from)
+	lim.acquire(func() {
+		attempts := 0
+		var attempt func()
+		attempt = func() {
+			attempts++
+			res.Messages++
+			if attempts > 1 {
+				res.Retries++
+			}
+			b.Cluster.Node(from).Meter.ChargeCPU(b.SendOverhead)
+			e.After(b.SendOverhead, func() {
+				b.Cluster.Net.Send(from, to, size,
+					func() { // delivered
+						lim.release()
+						cb(true)
+					},
+					func() { // attempt failed
+						if attempts < b.Retries {
+							attempt()
+							return
+						}
+						lim.release()
+						cb(false)
+					})
+			})
+		}
+		attempt()
+	})
+}
+
+// Send delivers one point-to-point message with the broadcaster's retry
+// policy, outside of any broadcast. cb receives true on delivery, false
+// once all attempts are exhausted. Used by the master daemon for
+// master↔satellite task hand-offs and heartbeats.
+func (b *Broadcaster) Send(from, to cluster.NodeID, size int, cb func(ok bool)) {
+	var scratch Result
+	b.send(from, to, size, &scratch, cb)
+}
+
+// tracker counts outstanding deliveries and finalizes the Result.
+type tracker struct {
+	engine  *simnet.Engine
+	start   time.Duration
+	pending int
+	res     Result
+	done    func(Result)
+}
+
+func newTracker(e *simnet.Engine, pending int, done func(Result)) *tracker {
+	t := &tracker{engine: e, start: e.Now(), pending: pending, done: done}
+	if pending == 0 {
+		t.finish()
+	}
+	return t
+}
+
+func (t *tracker) resolve(res *Result, id cluster.NodeID, ok bool) {
+	if ok {
+		res.Delivered++
+		if d := t.engine.Now() - t.start; d > res.DeliveredElapsed {
+			res.DeliveredElapsed = d
+		}
+	} else {
+		res.Unreachable = append(res.Unreachable, id)
+	}
+	t.pending--
+	if t.pending == 0 {
+		t.finish()
+	}
+}
+
+func (t *tracker) add(n int) { t.pending += n }
+
+func (t *tracker) finish() {
+	t.res.Elapsed = t.engine.Now() - t.start
+	if t.done != nil {
+		t.done(t.res)
+	}
+}
+
+// Structure is one broadcast topology.
+type Structure interface {
+	// Name identifies the structure in experiment output.
+	Name() string
+	// Broadcast delivers size payload bytes from origin to targets and
+	// invokes done exactly once with the outcome. The targets slice is not
+	// retained.
+	Broadcast(b *Broadcaster, origin cluster.NodeID, targets []cluster.NodeID, size int, done func(Result))
+}
+
+// ---------------------------------------------------------------------------
+// Star: the origin contacts every target directly (a centralized master's
+// broadcast). Bounded by the origin's MaxConcurrent slots: failures hold
+// slots for retries × timeout, so broadcast time grows with failure count.
+
+// Star broadcasts directly from the origin to all targets.
+type Star struct{}
+
+// Name returns "star".
+func (Star) Name() string { return "star" }
+
+// Broadcast implements Structure.
+func (Star) Broadcast(b *Broadcaster, origin cluster.NodeID, targets []cluster.NodeID, size int, done func(Result)) {
+	t := newTracker(b.engine(), len(targets), done)
+	for _, id := range targets {
+		id := id
+		b.send(origin, id, size, &t.res, func(ok bool) { t.resolve(&t.res, id, ok) })
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ring: the message travels target-to-target in list order. A failed node
+// is skipped after retries; its successor is contacted by the predecessor.
+
+// Ring broadcasts by relaying along the target list.
+type Ring struct{}
+
+// Name returns "ring".
+func (Ring) Name() string { return "ring" }
+
+// Broadcast implements Structure.
+func (Ring) Broadcast(b *Broadcaster, origin cluster.NodeID, targets []cluster.NodeID, size int, done func(Result)) {
+	t := newTracker(b.engine(), len(targets), done)
+	ids := append([]cluster.NodeID(nil), targets...)
+	var hop func(from cluster.NodeID, idx int)
+	hop = func(from cluster.NodeID, idx int) {
+		if idx >= len(ids) {
+			return
+		}
+		to := ids[idx]
+		// The relay message carries the remaining list.
+		sz := size + (len(ids)-idx)*b.PerNodeListBytes
+		b.send(from, to, sz, &t.res, func(ok bool) {
+			t.resolve(&t.res, to, ok)
+			if ok {
+				b.Cluster.Node(to).Meter.ChargeCPU(b.RelayOverhead)
+				b.engine().After(b.RelayOverhead, func() { hop(to, idx+1) })
+			} else {
+				// Skip the dead node: the same sender tries its successor.
+				hop(from, idx+1)
+			}
+		})
+	}
+	hop(origin, 0)
+}
+
+// ---------------------------------------------------------------------------
+// SharedMem: the origin publishes the payload to a shared-memory service
+// and every target fetches it. The service processes fetches sequentially,
+// so broadcast time is ~n × service time, nearly independent of failures
+// (failed nodes simply never fetch).
+
+// SharedMem broadcasts via a publish/fetch shared-memory service hosted on
+// the origin.
+type SharedMem struct {
+	// ServiceTime is the per-fetch handling cost at the service. Zero
+	// takes a 1.2 ms default, calibrated so a 4K-node fetch storm drains
+	// in a few seconds as in Fig. 8b.
+	ServiceTime time.Duration
+}
+
+// Name returns "sharedmem".
+func (SharedMem) Name() string { return "sharedmem" }
+
+// Broadcast implements Structure.
+func (s SharedMem) Broadcast(b *Broadcaster, origin cluster.NodeID, targets []cluster.NodeID, size int, done func(Result)) {
+	st := s.ServiceTime
+	if st == 0 {
+		st = 1200 * time.Microsecond
+	}
+	e := b.engine()
+	t := newTracker(e, len(targets), done)
+	// Publish: one write into the shared segment.
+	b.Cluster.Node(origin).Meter.ChargeCPU(b.SendOverhead)
+	queue := time.Duration(0)
+	for _, id := range targets {
+		id := id
+		if b.Cluster.Node(id).Failed() {
+			// A failed node never issues its fetch; the service notices
+			// the missing ack after its timeout when collecting results.
+			e.After(b.Cluster.Net.Config().ConnectTimeout, func() {
+				t.resolve(&t.res, id, false)
+			})
+			continue
+		}
+		queue += st
+		delay := queue + b.Cluster.Net.TransferTime(size)
+		t.res.Messages++
+		e.After(delay, func() {
+			b.Cluster.Node(id).Meter.CountMessage(false, size)
+			t.resolve(&t.res, id, true)
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// KTree: classic k-ary relay tree over the target list order. A failed
+// interior node's parent adopts its children after retries — the expensive
+// re-routing that FP-Tree avoids.
+
+// KTree broadcasts over a width-W relay tree built from the list order.
+type KTree struct {
+	// Width is the tree fan-out; zero takes fptree.DefaultWidth.
+	Width int
+}
+
+// Name returns "tree".
+func (KTree) Name() string { return "tree" }
+
+func (k KTree) width() int {
+	if k.Width == 0 {
+		return fptree.DefaultWidth
+	}
+	return k.Width
+}
+
+// Broadcast implements Structure.
+func (k KTree) Broadcast(b *Broadcaster, origin cluster.NodeID, targets []cluster.NodeID, size int, done func(Result)) {
+	tr := fptree.Build(append([]cluster.NodeID(nil), targets...), k.width())
+	broadcastTree(b, origin, tr, size, done)
+}
+
+// broadcastTree relays a payload down a materialized tree with parent-
+// adoption fault tolerance.
+func broadcastTree(b *Broadcaster, origin cluster.NodeID, tr *fptree.Tree[cluster.NodeID], size int, done func(Result)) {
+	e := b.engine()
+	t := newTracker(e, tr.Size(), done)
+
+	var dispatch func(from cluster.NodeID, n *fptree.Node[cluster.NodeID])
+	subtreeSize := func(n *fptree.Node[cluster.NodeID]) int {
+		// Count nodes in the subtree for message sizing.
+		c := 1
+		var rec func(m *fptree.Node[cluster.NodeID])
+		rec = func(m *fptree.Node[cluster.NodeID]) {
+			for _, ch := range m.Children {
+				c++
+				rec(ch)
+			}
+		}
+		rec(n)
+		return c
+	}
+	dispatch = func(from cluster.NodeID, n *fptree.Node[cluster.NodeID]) {
+		sz := size + subtreeSize(n)*b.PerNodeListBytes
+		b.send(from, n.Value, sz, &t.res, func(ok bool) {
+			t.resolve(&t.res, n.Value, ok)
+			if ok {
+				if len(n.Children) == 0 {
+					return
+				}
+				b.Cluster.Node(n.Value).Meter.ChargeCPU(b.RelayOverhead)
+				e.After(b.RelayOverhead, func() {
+					for _, ch := range n.Children {
+						dispatch(n.Value, ch)
+					}
+				})
+				return
+			}
+			// Fault tolerance: the parent adopts the failed child's
+			// children and contacts them directly.
+			for _, ch := range n.Children {
+				dispatch(from, ch)
+			}
+		})
+	}
+	for _, r := range tr.Roots {
+		dispatch(origin, r)
+	}
+	if len(tr.Roots) == 0 {
+		// Empty target list: tracker already finished.
+		_ = t
+	}
+}
+
+// ---------------------------------------------------------------------------
+// FPTree: the paper's structure — rearrange the list so predicted-failed
+// nodes are leaves, then broadcast over the k-ary tree.
+
+// FPTree broadcasts over the failure-prediction-rearranged relay tree.
+type FPTree struct {
+	// Width is the tree fan-out; zero takes fptree.DefaultWidth.
+	Width int
+	// Predictor supplies the predicted-failed set; nil behaves like
+	// predict.Null (plain tree).
+	Predictor predict.Predictor
+	// Stats, when non-nil, accumulates placement statistics for the
+	// FP-Tree placement experiment (§VII-A).
+	Stats *PlacementStats
+}
+
+// PlacementStats accumulates how many actually-failed nodes the FP-Tree
+// proactively identified — predicted at construction time and therefore
+// deliberately placed at leaf positions (the paper reports 81.7%). A
+// failed node that merely lands on a leaf by chance (most slots of a wide
+// tree are leaves) does not count: the statistic measures the prediction
+// pipeline, not slot geometry.
+type PlacementStats struct {
+	TreesBuilt        int
+	NodesTotal        int
+	FailedEncountered int
+	FailedAtLeaves    int
+}
+
+// LeafPlacementRatio returns FailedAtLeaves / FailedEncountered.
+func (p *PlacementStats) LeafPlacementRatio() float64 {
+	if p.FailedEncountered == 0 {
+		return 0
+	}
+	return float64(p.FailedAtLeaves) / float64(p.FailedEncountered)
+}
+
+// Name returns "fptree".
+func (FPTree) Name() string { return "fptree" }
+
+func (f FPTree) width() int {
+	if f.Width == 0 {
+		return fptree.DefaultWidth
+	}
+	return f.Width
+}
+
+// Plan returns the rearranged target list without broadcasting — used by
+// tests and by the FP-Tree constructor pipeline.
+func (f FPTree) Plan(targets []cluster.NodeID) []cluster.NodeID {
+	pred := f.Predictor
+	if pred == nil {
+		pred = predict.Null{}
+	}
+	return fptree.Rearrange(targets, func(id cluster.NodeID) bool { return pred.Predicted(id) }, f.width())
+}
+
+// Broadcast implements Structure.
+func (f FPTree) Broadcast(b *Broadcaster, origin cluster.NodeID, targets []cluster.NodeID, size int, done func(Result)) {
+	pred := f.Predictor
+	if pred == nil {
+		pred = predict.Null{}
+	}
+	list := f.Plan(targets)
+	tr := fptree.Build(list, f.width())
+	if f.Stats != nil {
+		f.Stats.TreesBuilt++
+		f.Stats.NodesTotal += len(list)
+		slots := fptree.LeafSlots(len(list), f.width())
+		for i, id := range list {
+			if b.Cluster.Node(id).Failed() {
+				f.Stats.FailedEncountered++
+				if slots[i] && pred.Predicted(id) {
+					f.Stats.FailedAtLeaves++
+				}
+			}
+		}
+	}
+	broadcastTree(b, origin, tr, size, done)
+}
+
+// ---------------------------------------------------------------------------
+// Binomial: the classic MPI broadcast tree. In round k, every node that
+// already holds the message forwards it to one new peer, so delivery takes
+// ⌈log2 n⌉ rounds with at most one outstanding send per holder. Included
+// as the standard message-passing baseline alongside the paper's four
+// structures; like the plain k-ary tree, a failed interior node stalls the
+// whole block it was responsible for until the timeout.
+
+// Binomial broadcasts over a binomial tree built from the target order.
+type Binomial struct{}
+
+// Name returns "binomial".
+func (Binomial) Name() string { return "binomial" }
+
+// Broadcast implements Structure.
+func (Binomial) Broadcast(b *Broadcaster, origin cluster.NodeID, targets []cluster.NodeID, size int, done func(Result)) {
+	t := newTracker(b.engine(), len(targets), done)
+	ids := append([]cluster.NodeID(nil), targets...)
+
+	// relay(holder, lo, hi): holder (origin for the root call, otherwise
+	// ids[lo-1]'s owner) is responsible for delivering ids[lo:hi). It
+	// sends to the block's head, then splits: the head takes the upper
+	// half, the holder keeps recursing on the lower half — the standard
+	// binomial recursion.
+	var relay func(holder cluster.NodeID, lo, hi int)
+	relay = func(holder cluster.NodeID, lo, hi int) {
+		if lo >= hi {
+			return
+		}
+		head := ids[lo]
+		sz := size + (hi-lo)*b.PerNodeListBytes
+		b.send(holder, head, sz, &t.res, func(ok bool) {
+			t.resolve(&t.res, head, ok)
+			mid := lo + 1 + (hi-lo-1)/2
+			if ok {
+				b.Cluster.Node(head).Meter.ChargeCPU(b.RelayOverhead)
+				b.engine().After(b.RelayOverhead, func() { relay(head, mid, hi) })
+				relay(holder, lo+1, mid)
+				return
+			}
+			// Fault tolerance: the holder keeps both halves.
+			relay(holder, mid, hi)
+			relay(holder, lo+1, mid)
+		})
+	}
+	relay(origin, 0, len(ids))
+}

@@ -1,0 +1,181 @@
+package comm
+
+import (
+	"time"
+
+	"eslurm/internal/cluster"
+	"eslurm/internal/fptree"
+	"eslurm/internal/predict"
+)
+
+// This file implements broadcast-with-gather: the payload flows down the
+// relay tree and per-node acknowledgements flow back *up* it, merged at
+// every interior node, so the origin receives one aggregated reply per
+// first-layer subtree rather than one ack per node. This is the satellite
+// node's "bidirectional communication buffer with initial data aggregation
+// and processing capabilities" (Section III-A) realized as actual reverse-
+// path messages rather than bookkeeping.
+
+// GatherResult is the outcome of a BroadcastGather: the plain broadcast
+// Result plus the time at which the origin held the complete aggregate.
+type GatherResult struct {
+	Result
+	// AggregatedAt is when the last first-layer aggregate reached the
+	// origin (equals Result.Elapsed by construction).
+	AggregatedAt time.Duration
+}
+
+// GatherTree broadcasts over an FP-Tree and gathers merged
+// acknowledgements back to the origin.
+type GatherTree struct {
+	// Width is the tree fan-out; zero takes fptree.DefaultWidth.
+	Width int
+	// Predictor supplies the predicted-failed set (nil = none).
+	Predictor predict.Predictor
+	// AckBytesPerNode sizes the aggregate messages (default 16).
+	AckBytesPerNode int
+}
+
+// Name returns "gathertree".
+func (GatherTree) Name() string { return "gathertree" }
+
+func (g GatherTree) width() int {
+	if g.Width == 0 {
+		return fptree.DefaultWidth
+	}
+	return g.Width
+}
+
+func (g GatherTree) ackBytes() int {
+	if g.AckBytesPerNode == 0 {
+		return 16
+	}
+	return g.AckBytesPerNode
+}
+
+// subReply is one subtree's merged acknowledgement.
+type subReply struct {
+	ok  []cluster.NodeID
+	bad []cluster.NodeID
+}
+
+// Broadcast implements Structure: done fires when the origin holds the
+// full aggregate.
+func (g GatherTree) Broadcast(b *Broadcaster, origin cluster.NodeID, targets []cluster.NodeID, size int, done func(Result)) {
+	g.BroadcastGather(b, origin, targets, size, func(r GatherResult) {
+		if done != nil {
+			done(r.Result)
+		}
+	})
+}
+
+// BroadcastGather runs the broadcast+gather and reports the GatherResult.
+func (g GatherTree) BroadcastGather(b *Broadcaster, origin cluster.NodeID, targets []cluster.NodeID, size int, done func(GatherResult)) {
+	e := b.engine()
+	start := e.Now()
+	pred := g.Predictor
+	if pred == nil {
+		pred = predict.Null{}
+	}
+	list := fptree.Rearrange(targets, func(id cluster.NodeID) bool { return pred.Predicted(id) }, g.width())
+	tr := fptree.Build(list, g.width())
+
+	res := GatherResult{}
+	var lastDelivery time.Duration
+
+	subtreeSize := func(n *fptree.Node[cluster.NodeID]) int {
+		c := 1
+		var rec func(m *fptree.Node[cluster.NodeID])
+		rec = func(m *fptree.Node[cluster.NodeID]) {
+			for _, ch := range m.Children {
+				c++
+				rec(ch)
+			}
+		}
+		rec(n)
+		return c
+	}
+
+	// visit delivers the payload to n's subtree from `from` and invokes
+	// reply exactly once with the subtree's merged acknowledgement.
+	var visit func(from cluster.NodeID, n *fptree.Node[cluster.NodeID], reply func(subReply))
+	visit = func(from cluster.NodeID, n *fptree.Node[cluster.NodeID], reply func(subReply)) {
+		sz := size + subtreeSize(n)*b.PerNodeListBytes
+		b.send(from, n.Value, sz, &res.Result, func(delivered bool) {
+			if !delivered {
+				// Adoption: `from` contacts the dead child's children
+				// directly and merges their replies itself.
+				merged := subReply{bad: []cluster.NodeID{n.Value}}
+				pending := len(n.Children)
+				if pending == 0 {
+					reply(merged)
+					return
+				}
+				for _, ch := range n.Children {
+					visit(from, ch, func(r subReply) {
+						merged.ok = append(merged.ok, r.ok...)
+						merged.bad = append(merged.bad, r.bad...)
+						pending--
+						if pending == 0 {
+							reply(merged)
+						}
+					})
+				}
+				return
+			}
+			if d := e.Now() - start; d > lastDelivery {
+				lastDelivery = d
+			}
+			merged := subReply{ok: []cluster.NodeID{n.Value}}
+			finish := func() {
+				// The aggregate travels up as one real message sized by the
+				// subtree's node count. A lost aggregate (parent died) is
+				// degraded to local bookkeeping so the gather still
+				// terminates.
+				aggSz := (len(merged.ok) + len(merged.bad)) * g.ackBytes()
+				b.send(n.Value, from, aggSz, &res.Result, func(bool) { reply(merged) })
+			}
+			if len(n.Children) == 0 {
+				e.After(b.RelayOverhead, finish)
+				return
+			}
+			e.After(b.RelayOverhead, func() {
+				pending := len(n.Children)
+				for _, ch := range n.Children {
+					visit(n.Value, ch, func(r subReply) {
+						merged.ok = append(merged.ok, r.ok...)
+						merged.bad = append(merged.bad, r.bad...)
+						pending--
+						if pending == 0 {
+							finish()
+						}
+					})
+				}
+			})
+		})
+	}
+
+	pending := len(tr.Roots)
+	if pending == 0 {
+		res.Elapsed = 0
+		if done != nil {
+			done(res)
+		}
+		return
+	}
+	for _, r := range tr.Roots {
+		visit(origin, r, func(sr subReply) {
+			res.Delivered += len(sr.ok)
+			res.Unreachable = append(res.Unreachable, sr.bad...)
+			pending--
+			if pending == 0 {
+				res.Elapsed = e.Now() - start
+				res.AggregatedAt = res.Elapsed
+				res.DeliveredElapsed = lastDelivery
+				if done != nil {
+					done(res)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,124 @@
+package comm
+
+import (
+	"testing"
+	"time"
+
+	"eslurm/internal/cluster"
+	"eslurm/internal/predict"
+	"eslurm/internal/simnet"
+)
+
+func runGather(t *testing.T, seed int64, computes int, failed []int, pred predict.Predictor) GatherResult {
+	t.Helper()
+	e := simnet.NewEngine(seed)
+	c := cluster.New(e, cluster.Config{Computes: computes, Satellites: 1})
+	targets := c.Computes()
+	for _, i := range failed {
+		c.Fail(targets[i])
+	}
+	b := NewBroadcaster(c)
+	var res GatherResult
+	got := false
+	GatherTree{Width: 8, Predictor: pred}.BroadcastGather(b, c.Satellites()[0], targets, 512,
+		func(r GatherResult) { res = r; got = true })
+	e.Run()
+	if !got {
+		t.Fatal("gather never completed")
+	}
+	return res
+}
+
+func TestGatherHealthy(t *testing.T) {
+	res := runGather(t, 1, 200, nil, nil)
+	if res.Delivered != 200 || len(res.Unreachable) != 0 {
+		t.Fatalf("delivered=%d unreachable=%d", res.Delivered, len(res.Unreachable))
+	}
+	// Aggregation takes strictly longer than delivery: replies must climb
+	// back up the tree.
+	if res.AggregatedAt <= res.DeliveredElapsed {
+		t.Errorf("aggregate (%v) not after last delivery (%v)", res.AggregatedAt, res.DeliveredElapsed)
+	}
+	// ~2 messages per node (payload down + aggregate up).
+	if res.Messages < 2*200 || res.Messages > 2*200+50 {
+		t.Errorf("messages = %d, want ~400", res.Messages)
+	}
+}
+
+func TestGatherEmptyTargets(t *testing.T) {
+	res := runGather(t, 2, 0, nil, nil)
+	if res.Delivered != 0 || res.Elapsed != 0 {
+		t.Fatalf("empty gather: %+v", res)
+	}
+}
+
+func TestGatherAccountsFailures(t *testing.T) {
+	failed := []int{0, 7, 50, 121}
+	res := runGather(t, 3, 150, failed, nil)
+	if res.Delivered != 146 {
+		t.Errorf("delivered = %d, want 146", res.Delivered)
+	}
+	if len(res.Unreachable) != 4 {
+		t.Fatalf("unreachable = %v", res.Unreachable)
+	}
+	// Every target resolves exactly once.
+	if res.Delivered+len(res.Unreachable) != 150 {
+		t.Error("resolution count wrong")
+	}
+}
+
+func TestGatherMatchesBroadcastSets(t *testing.T) {
+	// The gather's delivered/unreachable partition must equal the plain
+	// FP-Tree broadcast's on the same cluster state.
+	failed := []int{3, 30, 99}
+	g := runGather(t, 4, 120, failed, nil)
+	p := runBroadcast(t, 4, 120, failed, FPTree{Width: 8}, nil)
+	if g.Delivered != p.Delivered || len(g.Unreachable) != len(p.Unreachable) {
+		t.Fatalf("gather %d/%d vs broadcast %d/%d",
+			g.Delivered, len(g.Unreachable), p.Delivered, len(p.Unreachable))
+	}
+}
+
+func TestGatherPredictionSpeedsDelivery(t *testing.T) {
+	// Prediction moves the failed interior node to a leaf: healthy
+	// delivery stays in milliseconds instead of waiting on the timeout.
+	// The *aggregate* still pays exactly one timeout round either way —
+	// it must report the dead node — so AggregatedAt sits just past the
+	// 3 s retry window in both runs.
+	failed := []int{0}
+	blind := runGather(t, 5, 256, failed, nil)
+	pred := predict.Static{}
+	// NodeID of compute 0 given 1 satellite: master=0, satellite=1, so
+	// compute IDs start at 2.
+	pred[cluster.NodeID(2)] = true
+	informed := runGather(t, 5, 256, failed, pred)
+	if informed.DeliveredElapsed >= blind.DeliveredElapsed {
+		t.Errorf("prediction did not speed delivery: %v vs %v",
+			informed.DeliveredElapsed, blind.DeliveredElapsed)
+	}
+	if informed.DeliveredElapsed > 100*time.Millisecond {
+		t.Errorf("informed delivery = %v, want milliseconds", informed.DeliveredElapsed)
+	}
+	for _, r := range []GatherResult{blind, informed} {
+		if r.AggregatedAt < 3*time.Second || r.AggregatedAt > 4*time.Second {
+			t.Errorf("aggregation = %v, want one ~3s timeout round", r.AggregatedAt)
+		}
+	}
+}
+
+func TestGatherViaStructureInterface(t *testing.T) {
+	// GatherTree also satisfies Structure for drop-in comparisons.
+	e := simnet.NewEngine(6)
+	c := cluster.New(e, cluster.Config{Computes: 64, Satellites: 1})
+	b := NewBroadcaster(c)
+	var s Structure = GatherTree{Width: 4}
+	var res Result
+	s.Broadcast(b, c.Satellites()[0], c.Computes(), 128, func(r Result) { res = r })
+	e.Run()
+	if res.Delivered != 64 {
+		t.Fatalf("delivered %d via Structure interface", res.Delivered)
+	}
+	if s.Name() != "gathertree" {
+		t.Error("name wrong")
+	}
+}

@@ -1,0 +1,123 @@
+package controller
+
+import (
+	"fmt"
+	"time"
+
+	"eslurm/internal/alloc"
+	"eslurm/internal/cluster"
+	"eslurm/internal/config"
+	"eslurm/internal/topo"
+)
+
+// Partition is a named slice of the cluster with its own limits — the
+// slurm.conf PartitionName record realized.
+type Partition struct {
+	Name  string
+	Nodes []cluster.NodeID
+	// MaxTime caps a job's walltime request; zero means unlimited.
+	MaxTime time.Duration
+	// Default receives jobs that name no partition.
+	Default bool
+}
+
+// partitionState is the controller's per-partition scheduling state.
+type partitionState struct {
+	def       Partition
+	allocator alloc.Allocator
+	running   map[*runningInfo]struct{}
+}
+
+// PartitionsFromConfig maps a parsed configuration's partitions onto the
+// simulated cluster: the i-th configured compute hostname is the i-th
+// compute NodeID. Hosts outside any NodeName record are rejected.
+func PartitionsFromConfig(cfg *config.Config, c *cluster.Cluster) ([]Partition, error) {
+	// hostname -> NodeID by configuration order.
+	byHost := make(map[string]cluster.NodeID)
+	computes := c.Computes()
+	idx := 0
+	for _, nd := range cfg.Nodes {
+		for _, h := range nd.Names {
+			if idx >= len(computes) {
+				return nil, fmt.Errorf("controller: config names %d+ compute nodes, cluster has %d",
+					idx+1, len(computes))
+			}
+			byHost[h] = computes[idx]
+			idx++
+		}
+	}
+	var out []Partition
+	for _, pd := range cfg.Partitions {
+		p := Partition{Name: pd.Name, MaxTime: pd.MaxTime, Default: pd.Default}
+		for _, h := range pd.Nodes {
+			id, ok := byHost[h]
+			if !ok {
+				return nil, fmt.Errorf("controller: partition %q references unknown host %q", pd.Name, h)
+			}
+			p.Nodes = append(p.Nodes, id)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// buildPartitions materializes the controller's partition table. With no
+// configured partitions, every compute node lands in one default "batch"
+// partition backed by the externally supplied allocator; otherwise each
+// partition gets its own topology-aware allocator over its node set.
+func (ctl *Controller) buildPartitions(parts []Partition, fallback alloc.Allocator) error {
+	ctl.partitions = make(map[string]*partitionState)
+	if len(parts) == 0 {
+		ctl.partitions["batch"] = &partitionState{
+			def:       Partition{Name: "batch", Nodes: ctl.Cluster.Computes(), Default: true},
+			allocator: fallback,
+			running:   make(map[*runningInfo]struct{}),
+		}
+		ctl.defaultPart = "batch"
+		return nil
+	}
+	for _, p := range parts {
+		if _, dup := ctl.partitions[p.Name]; dup {
+			return fmt.Errorf("controller: duplicate partition %q", p.Name)
+		}
+		if len(p.Nodes) == 0 {
+			return fmt.Errorf("controller: partition %q has no nodes", p.Name)
+		}
+		ctl.partitions[p.Name] = &partitionState{
+			def:       p,
+			allocator: alloc.NewTopoAware(p.Nodes, topo.Default()),
+			running:   make(map[*runningInfo]struct{}),
+		}
+		if p.Default && ctl.defaultPart == "" {
+			ctl.defaultPart = p.Name
+		}
+	}
+	if ctl.defaultPart == "" {
+		// First configured partition becomes the default, as in Slurm when
+		// none is flagged.
+		ctl.defaultPart = parts[0].Name
+	}
+	return nil
+}
+
+// resolvePartition picks the job's partition and validates the request
+// against it.
+func (ctl *Controller) resolvePartition(spec *JobSpec) (*partitionState, error) {
+	name := spec.Partition
+	if name == "" {
+		name = ctl.defaultPart
+	}
+	ps, ok := ctl.partitions[name]
+	if !ok {
+		return nil, fmt.Errorf("controller: unknown partition %q", name)
+	}
+	if spec.Nodes > len(ps.def.Nodes) {
+		return nil, fmt.Errorf("controller: job needs %d nodes, partition %q has %d",
+			spec.Nodes, name, len(ps.def.Nodes))
+	}
+	if ps.def.MaxTime > 0 && spec.UserEstimate > ps.def.MaxTime {
+		return nil, fmt.Errorf("controller: requested %v exceeds partition %q MaxTime %v",
+			spec.UserEstimate, name, ps.def.MaxTime)
+	}
+	return ps, nil
+}

@@ -1,0 +1,576 @@
+// Package core implements the ESlurm master daemon — the paper's primary
+// contribution (Section III): a hierarchical resource manager that keeps a
+// single master with the global scheduling view but offloads all
+// large-scale communication to a pool of satellite nodes, each of which
+// relays messages to its slice of compute nodes over an FP-Tree.
+//
+// The master:
+//
+//   - splits every broadcast across N satellites per Eq. 1,
+//   - maps sub-lists to satellites round-robin,
+//   - reallocates a failed satellite's task to the next satellite in the
+//     round-robin, at most Config.ReallocLimit times, after which the
+//     master takes the task over itself (Section III-C),
+//   - heartbeats satellites and compute nodes, driving the satellite state
+//     machine of package satellite,
+//   - tracks job and node state, charging its resource meter the way the
+//     production slurmctld-derived daemon does.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"eslurm/internal/cluster"
+	"eslurm/internal/comm"
+	"eslurm/internal/fptree"
+	"eslurm/internal/predict"
+	"eslurm/internal/proto"
+	"eslurm/internal/satellite"
+	"eslurm/internal/simnet"
+)
+
+// Config parameterizes the ESlurm master.
+type Config struct {
+	// TreeWidth is w in Eq. 1 and the FP-Tree fan-out.
+	TreeWidth int
+	// ReallocLimit is the number of reallocation trails for a failed
+	// broadcast task before the master takes over (paper default: 2).
+	ReallocLimit int
+	// HeartbeatInterval is the cadence of satellite + compute heartbeats.
+	HeartbeatInterval time.Duration
+	// TaskTimeout bounds how long the master waits for a satellite's
+	// aggregated response before treating the task as failed.
+	TaskTimeout time.Duration
+	// Message sizes in bytes.
+	JobLoadMsgBytes   int
+	JobTermMsgBytes   int
+	HeartbeatMsgBytes int
+	// ResponsePerNodeBytes sizes the aggregated satellite→master response.
+	ResponsePerNodeBytes int
+
+	// Resource-model coefficients for the master daemon (see
+	// DESIGN.md "Resource accounting"). ESlurm's hallmark is that these
+	// stay small because the master only ever talks to satellites.
+	BaseVMem       int64 // daemon image + arenas
+	BaseRSS        int64
+	PerNodeState   int64         // bytes of master state per managed compute node
+	PerJobState    int64         // bytes of master state per active job
+	SchedCPUPerJob time.Duration // scheduling-pass CPU per job event
+
+	// Satellite daemon memory model (Table VI, Fig. 9d–f): the satellite
+	// runs a slurmd-derived daemon with a large virtual image; its
+	// resident set grows with the largest sub-nodelist it has relayed.
+	SatelliteBaseVMem   int64
+	SatelliteBaseRSS    int64
+	SatellitePerNodeRSS int64
+	// SatellitePerNodeProc is the satellite's per-participant processing
+	// cost when it receives a task: FP-Tree construction is Θ(n)
+	// (Section IV-D) and each relay message carries a sub-nodelist to
+	// marshal. Fewer satellites ⇒ larger sub-lists ⇒ slower relays — one
+	// side of the Fig. 11a trade-off.
+	SatellitePerNodeProc time.Duration
+	// MasterPerTaskDispatch is the master's serialized cost to prepare
+	// and emit one satellite task (authorization, sub-list slicing,
+	// marshalling). More satellites ⇒ more tasks per broadcast — the
+	// other side of the Fig. 11a trade-off.
+	MasterPerTaskDispatch time.Duration
+	// MasterPerSatState is master memory per configured satellite
+	// (connection buffers + pool bookkeeping), the Table V growth.
+	MasterPerSatState int64
+	// PerResponseCPU is master CPU per aggregated satellite response.
+	PerResponseCPU time.Duration
+	// DisableSuspectFeedback turns off the master's own unreachable-node
+	// suspect set, leaving placement purely to the plugin predictor (used
+	// by the §VII-A placement experiment to measure the monitoring
+	// pipeline alone).
+	DisableSuspectFeedback bool
+}
+
+// DefaultConfig returns the production configuration used in the
+// experiments.
+func DefaultConfig() Config {
+	return Config{
+		TreeWidth:             fptree.DefaultWidth,
+		ReallocLimit:          2,
+		HeartbeatInterval:     150 * time.Second,
+		TaskTimeout:           120 * time.Second,
+		JobLoadMsgBytes:       4096,
+		JobTermMsgBytes:       1024,
+		HeartbeatMsgBytes:     256,
+		ResponsePerNodeBytes:  16,
+		BaseVMem:              1 << 30,  // <2 GB virtual (Fig. 7c)
+		BaseRSS:               40 << 20, // ~60 MB real at 4K nodes (Fig. 7d)
+		PerNodeState:          4 << 10,
+		PerJobState:           16 << 10,
+		SchedCPUPerJob:        2 * time.Millisecond,
+		SatelliteBaseVMem:     10 << 30,
+		SatelliteBaseRSS:      60 << 20,
+		SatellitePerNodeRSS:   24 << 10,
+		SatellitePerNodeProc:  50 * time.Microsecond,
+		MasterPerTaskDispatch: 1500 * time.Microsecond,
+		MasterPerSatState:     3 << 20,
+		PerResponseCPU:        500 * time.Microsecond,
+	}
+}
+
+// Stats counts master-level events for the experiment reports.
+type Stats struct {
+	Broadcasts      int
+	SubTasks        int
+	Reallocations   int
+	MasterTakeovers int
+	HeartbeatSweeps int
+}
+
+// Master is the ESlurm control daemon.
+type Master struct {
+	Cluster   *cluster.Cluster
+	Pool      *satellite.Pool
+	Predictor predict.Predictor
+	B         *comm.Broadcaster
+	// Placement, when non-nil, accumulates FP-Tree leaf-placement
+	// statistics across every satellite broadcast.
+	Placement *comm.PlacementStats
+
+	cfg    Config
+	stats  Stats
+	engine *simnet.Engine
+	hb     *simnet.Ticker
+	jobs   int
+	// suspects are nodes recent broadcasts failed to reach; they are
+	// treated as predicted-failed (over-prediction principle) until the
+	// expiry, independent of the plugin predictor.
+	suspects map[cluster.NodeID]time.Duration
+}
+
+// NewMaster wires an ESlurm master over a cluster. The predictor may be
+// nil (no failure prediction: FP-Tree degenerates to a plain tree).
+func NewMaster(c *cluster.Cluster, cfg Config, p predict.Predictor) *Master {
+	if cfg.TreeWidth == 0 {
+		cfg = DefaultConfig()
+	}
+	if p == nil {
+		p = predict.Null{}
+	}
+	m := &Master{
+		Cluster:   c,
+		Pool:      satellite.NewPool(c.Engine, c.Satellites()),
+		Predictor: p,
+		B:         comm.NewBroadcaster(c),
+		cfg:       cfg,
+		engine:    c.Engine,
+		suspects:  make(map[cluster.NodeID]time.Duration),
+	}
+	return m
+}
+
+// SuspectTTL is how long an unreachable node stays in the master's
+// suspect set (and hence at FP-Tree leaves) after its last failed
+// delivery.
+const SuspectTTL = 30 * time.Minute
+
+// markSuspects records nodes a broadcast could not reach.
+func (m *Master) markSuspects(ids []cluster.NodeID) {
+	if m.cfg.DisableSuspectFeedback {
+		return
+	}
+	for _, id := range ids {
+		m.suspects[id] = m.engine.Now() + SuspectTTL
+	}
+}
+
+// Suspected reports whether the master currently treats the node as
+// likely-failed from its own delivery evidence.
+func (m *Master) Suspected(id cluster.NodeID) bool {
+	exp, ok := m.suspects[id]
+	if !ok {
+		return false
+	}
+	if m.engine.Now() > exp {
+		delete(m.suspects, id)
+		return false
+	}
+	return true
+}
+
+// effectivePredictor returns the predictor FP-Tree construction consults:
+// the plugin predictor merged with the master's own suspect set, unless
+// suspect feedback is disabled by configuration.
+func (m *Master) effectivePredictor() predict.Predictor {
+	if m.cfg.DisableSuspectFeedback {
+		return m.Predictor
+	}
+	return mergedPredictor{m}
+}
+
+// mergedPredictor merges the plugin predictor with the master's own
+// suspect set.
+type mergedPredictor struct{ m *Master }
+
+// Predicted implements predict.Predictor.
+func (p mergedPredictor) Predicted(id cluster.NodeID) bool {
+	return p.m.Suspected(id) || p.m.Predictor.Predicted(id)
+}
+
+// PredictedCount implements predict.Predictor (plugin count plus live
+// suspects; overlap is not deduplicated — the count is informational).
+func (p mergedPredictor) PredictedCount() int {
+	n := p.m.Predictor.PredictedCount()
+	if n < 0 {
+		return -1
+	}
+	for id := range p.m.suspects {
+		if p.m.Suspected(id) && !p.m.Predictor.Predicted(id) {
+			n++
+		}
+	}
+	return n
+}
+
+// Config returns the master's configuration.
+func (m *Master) Config() Config { return m.cfg }
+
+// Stats returns a copy of the master's event counters.
+func (m *Master) Stats() Stats { return m.stats }
+
+// Meter returns the master daemon's resource meter.
+func (m *Master) Meter() *cluster.ResourceMeter { return &m.Cluster.Master().Meter }
+
+// Name identifies the RM in experiment output.
+func (m *Master) Name() string { return "ESlurm" }
+
+// Start boots the daemon: base memory is mapped, node state is built, all
+// satellites are probed (promoting them to RUNNING), and the heartbeat
+// service begins.
+func (m *Master) Start() {
+	mm := m.Meter()
+	mm.AddVMem(m.cfg.BaseVMem)
+	mm.AddRSS(m.cfg.BaseRSS)
+	mm.AddVMem(int64(len(m.Cluster.Computes())) * m.cfg.PerNodeState)
+	mm.AddRSS(int64(len(m.Cluster.Computes())) * m.cfg.PerNodeState / 8)
+	for _, id := range m.Cluster.Satellites() {
+		sm := &m.Cluster.Node(id).Meter
+		sm.AddVMem(m.cfg.SatelliteBaseVMem)
+		sm.AddRSS(m.cfg.SatelliteBaseRSS)
+		// The master holds a long-lived control connection per satellite
+		// and per-satellite pool state (Table V's mild growth with the
+		// satellite count).
+		mm.OpenSocket()
+		mm.AddVMem(m.cfg.MasterPerSatState)
+		mm.AddRSS(m.cfg.MasterPerSatState / 4)
+	}
+	m.probeSatellites()
+	m.hb = m.engine.Every(m.cfg.HeartbeatInterval, m.heartbeatSweep)
+}
+
+// Stop halts the heartbeat service.
+func (m *Master) Stop() {
+	if m.hb != nil {
+		m.hb.Stop()
+	}
+}
+
+// probeSatellites heartbeats every satellite once, synchronously promoting
+// reachable ones to RUNNING.
+func (m *Master) probeSatellites() {
+	for _, s := range m.Pool.All() {
+		s := s
+		m.B.Send(m.Cluster.Master().ID, s.ID, m.cfg.HeartbeatMsgBytes, func(ok bool) {
+			if ok {
+				m.Pool.Apply(s, satellite.EvHBSuccess)
+			} else {
+				m.Pool.Apply(s, satellite.EvHBFailure)
+			}
+		})
+	}
+}
+
+// SatelliteFanout implements Eq. 1: the number N of satellite nodes used
+// to relay a broadcast to s participating nodes, given tree width w and
+// pool size m.
+func (m *Master) SatelliteFanout(s int) int {
+	w := m.cfg.TreeWidth
+	mm := m.Pool.Size()
+	if mm == 0 {
+		return 0
+	}
+	switch {
+	case s <= w:
+		return 1
+	case s >= mm*w:
+		return mm
+	default:
+		n := s / w
+		if n < 1 {
+			n = 1
+		}
+		if n > mm {
+			n = mm
+		}
+		return n
+	}
+}
+
+// splitList divides targets into n near-equal contiguous sub-lists.
+func splitList(targets []cluster.NodeID, n int) [][]cluster.NodeID {
+	if n <= 0 {
+		return nil
+	}
+	out := make([][]cluster.NodeID, 0, n)
+	base, extra := len(targets)/n, len(targets)%n
+	pos := 0
+	for i := 0; i < n; i++ {
+		sz := base
+		if i < extra {
+			sz++
+		}
+		if sz == 0 {
+			continue
+		}
+		out = append(out, targets[pos:pos+sz])
+		pos += sz
+	}
+	return out
+}
+
+// Broadcast relays one payload to the target compute nodes through the
+// satellite layer, with reallocation and master-takeover fault tolerance.
+// done (may be nil) receives the merged result when every target has
+// resolved.
+func (m *Master) Broadcast(targets []cluster.NodeID, size int, done func(comm.Result)) {
+	m.stats.Broadcasts++
+	master := m.Cluster.Master().ID
+	mm := m.Meter()
+	mm.ChargeCPU(m.B.SendOverhead) // task splitting
+
+	if len(targets) == 0 {
+		if done != nil {
+			done(comm.Result{})
+		}
+		return
+	}
+
+	n := m.SatelliteFanout(len(targets))
+	sats := m.Pool.SelectRunning(n)
+	if len(sats) == 0 {
+		// No satellite available at all: the master must do the work.
+		m.stats.MasterTakeovers++
+		m.directBroadcast(master, targets, size, func(r comm.Result, _ time.Duration) {
+			if done != nil {
+				done(r)
+			}
+		})
+		return
+	}
+	subs := splitList(targets, len(sats))
+
+	start := m.engine.Now()
+	merged := comm.Result{}
+	pending := len(subs)
+	// finish merges one sub-task's outcome. deliveredAt is the absolute
+	// virtual time of the sub-broadcast's last successful delivery, so the
+	// merged DeliveredElapsed measures when the message reached every
+	// reachable node — not when timeout bookkeeping for dead leaves
+	// drained (the paper's "message broadcast time").
+	finish := func(r comm.Result, deliveredAt time.Duration) {
+		merged.Delivered += r.Delivered
+		merged.Unreachable = append(merged.Unreachable, r.Unreachable...)
+		merged.Messages += r.Messages
+		merged.Retries += r.Retries
+		if d := m.engine.Now() - start; d > merged.Elapsed {
+			merged.Elapsed = d
+		}
+		if r.Delivered > 0 && deliveredAt > start {
+			if d := deliveredAt - start; d > merged.DeliveredElapsed {
+				merged.DeliveredElapsed = d
+			}
+		}
+		pending--
+		if pending == 0 && done != nil {
+			done(merged)
+		}
+	}
+
+	// Task preparation is serialized at the master: authorization,
+	// sub-list slicing and marshalling cost MasterPerTaskDispatch each.
+	for i, sub := range subs {
+		i, sub := i, sub
+		delay := time.Duration(i+1) * m.cfg.MasterPerTaskDispatch
+		mm.ChargeCPU(m.cfg.MasterPerTaskDispatch)
+		m.engine.After(delay, func() {
+			m.dispatchTask(sats[i], sub, size, 0, finish)
+		})
+	}
+	m.stats.SubTasks += len(subs)
+}
+
+// dispatchTask hands one sub-list to a satellite; trail counts previous
+// reallocation attempts for this task.
+func (m *Master) dispatchTask(sat *satellite.Satellite, sub []cluster.NodeID, size int, trail int, finish func(comm.Result, time.Duration)) {
+	master := m.Cluster.Master().ID
+	m.Pool.Apply(sat, satellite.EvBTAssigned)
+	sat.NodesServed += len(sub)
+
+	// The satellite's resident set high-water mark follows the largest
+	// sub-nodelist it has buffered.
+	sm := &m.Cluster.Node(sat.ID).Meter
+	if target := m.cfg.SatelliteBaseRSS + int64(len(sub))*m.cfg.SatellitePerNodeRSS; sm.RSS() < target {
+		sm.AddRSS(target - sm.RSS())
+	}
+
+	taskBytes := proto.TaskAssignSize(len(sub), size)
+	responded := false
+
+	// Watchdog: if the satellite never responds (e.g. it died mid-task),
+	// treat the task as failed and reallocate.
+	watchdog := m.engine.After(m.cfg.TaskTimeout, func() {
+		if responded {
+			return
+		}
+		responded = true
+		m.Pool.Apply(sat, satellite.EvBTFailure)
+		m.reallocate(sat, sub, size, trail, finish)
+	})
+
+	m.B.Send(master, sat.ID, taskBytes, func(ok bool) {
+		if responded {
+			return
+		}
+		if !ok {
+			responded = true
+			watchdog.Cancel()
+			m.Pool.Apply(sat, satellite.EvBTFailure)
+			m.reallocate(sat, sub, size, trail, finish)
+			return
+		}
+		// The satellite constructs an FP-Tree over its sub-list (Θ(n),
+		// Section IV-D) and marshals per-child sub-nodelists before
+		// relaying.
+		proc := m.B.RelayOverhead + time.Duration(len(sub))*m.cfg.SatellitePerNodeProc
+		m.Cluster.Node(sat.ID).Meter.ChargeCPU(proc)
+		bStart := m.engine.Now() + proc
+		structure := comm.FPTree{Width: m.cfg.TreeWidth, Predictor: m.effectivePredictor(), Stats: m.Placement}
+		m.engine.After(proc, func() {
+			structure.Broadcast(m.B, sat.ID, sub, size, func(r comm.Result) {
+				m.markSuspects(r.Unreachable)
+				if responded {
+					return
+				}
+				// Aggregate response back to the master (wire-encoded
+				// per-node statuses, see package proto).
+				respBytes := proto.AggregateReplySize(len(sub), len(r.Unreachable))
+				m.B.Send(sat.ID, master, respBytes, func(respOK bool) {
+					if responded {
+						return
+					}
+					responded = true
+					watchdog.Cancel()
+					if respOK {
+						m.Pool.Apply(sat, satellite.EvBTSuccess)
+						m.Meter().ChargeCPU(time.Duration(len(sub)) * time.Microsecond) // merge aggregate
+						finish(r, bStart+r.DeliveredElapsed)
+						return
+					}
+					m.Pool.Apply(sat, satellite.EvBTFailure)
+					m.reallocate(sat, sub, size, trail, finish)
+				})
+			})
+		})
+	})
+}
+
+// reallocate implements Section III-C: move the task to the next satellite
+// in the round-robin; after ReallocLimit trails the master takes over.
+func (m *Master) reallocate(failed *satellite.Satellite, sub []cluster.NodeID, size int, trail int, finish func(comm.Result, time.Duration)) {
+	trail++
+	if trail > m.cfg.ReallocLimit {
+		m.stats.MasterTakeovers++
+		m.directBroadcast(m.Cluster.Master().ID, sub, size, finish)
+		return
+	}
+	next := m.Pool.NextRunning()
+	if next == nil || next.ID == failed.ID {
+		m.stats.MasterTakeovers++
+		m.directBroadcast(m.Cluster.Master().ID, sub, size, finish)
+		return
+	}
+	m.stats.Reallocations++
+	m.dispatchTask(next, sub, size, trail, finish)
+}
+
+// directBroadcast is the master-takeover path: the master relays to the
+// sub-list itself over an FP-Tree, "ensuring that the task is processed
+// correctly and promptly".
+func (m *Master) directBroadcast(origin cluster.NodeID, sub []cluster.NodeID, size int, finish func(comm.Result, time.Duration)) {
+	bStart := m.engine.Now()
+	structure := comm.FPTree{Width: m.cfg.TreeWidth, Predictor: m.effectivePredictor(), Stats: m.Placement}
+	structure.Broadcast(m.B, origin, sub, size, func(r comm.Result) {
+		m.markSuspects(r.Unreachable)
+		if finish != nil {
+			finish(r, bStart+r.DeliveredElapsed)
+		}
+	})
+}
+
+// ShutdownSatellite sends the SHUTDOWN command of Table II to a satellite:
+// the node is removed from broadcast rotation immediately and stays DOWN
+// until an administrator reinstates it. The command itself travels as a
+// real control message.
+func (m *Master) ShutdownSatellite(id cluster.NodeID, done func(delivered bool)) error {
+	sat := m.Pool.Get(id)
+	if sat == nil {
+		return fmt.Errorf("core: node %d is not a satellite", id)
+	}
+	// The state change is immediate — the master stops routing tasks even
+	// before the daemon acknowledges.
+	if _, err := m.Pool.Apply(sat, satellite.EvShutdown); err != nil {
+		return err
+	}
+	m.B.Send(m.Cluster.Master().ID, id, m.cfg.HeartbeatMsgBytes, func(ok bool) {
+		if done != nil {
+			done(ok)
+		}
+	})
+	return nil
+}
+
+// heartbeatSweep probes satellites directly and compute nodes through the
+// satellite layer, feeding the state machine and the predictor pipeline.
+func (m *Master) heartbeatSweep() {
+	m.stats.HeartbeatSweeps++
+	m.probeSatellites()
+	m.Broadcast(m.Cluster.Computes(), m.cfg.HeartbeatMsgBytes, nil)
+}
+
+// LoadJob broadcasts the job-loading message to the job's nodes and charges
+// the master's job bookkeeping. done receives the broadcast result.
+func (m *Master) LoadJob(nodes []cluster.NodeID, done func(comm.Result)) {
+	mm := m.Meter()
+	mm.ChargeCPU(m.cfg.SchedCPUPerJob)
+	mm.AddVMem(m.cfg.PerJobState)
+	mm.AddRSS(m.cfg.PerJobState / 4)
+	m.jobs++
+	m.Broadcast(nodes, m.cfg.JobLoadMsgBytes, done)
+}
+
+// TerminateJob broadcasts the job-termination message and releases the
+// master's per-job state. ESlurm returns job memory to the allocator
+// (unlike the Slurm model, whose virtual footprint only grows).
+func (m *Master) TerminateJob(nodes []cluster.NodeID, done func(comm.Result)) {
+	mm := m.Meter()
+	mm.ChargeCPU(m.cfg.SchedCPUPerJob / 2)
+	m.Broadcast(nodes, m.cfg.JobTermMsgBytes, func(r comm.Result) {
+		mm.AddVMem(-m.cfg.PerJobState)
+		mm.AddRSS(-m.cfg.PerJobState / 4)
+		if m.jobs > 0 {
+			m.jobs--
+		}
+		if done != nil {
+			done(r)
+		}
+	})
+}
+
+// ActiveJobs returns the number of jobs currently tracked by the master.
+func (m *Master) ActiveJobs() int { return m.jobs }

@@ -1,0 +1,372 @@
+package estimate
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"eslurm/internal/trace"
+)
+
+func TestEAEq4(t *testing.T) {
+	cases := []struct {
+		pred, actual time.Duration
+		want         float64
+	}{
+		{time.Hour, time.Hour, 1.0},
+		{30 * time.Minute, time.Hour, 0.5}, // underestimate: t_p/t_r
+		{2 * time.Hour, time.Hour, 0.5},    // overestimate: t_r/t_p
+		{0, time.Hour, 0},
+		{time.Hour, 0, 0},
+	}
+	for i, c := range cases {
+		if got := EA(c.pred, c.actual); got != c.want {
+			t.Errorf("case %d: EA = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestEABounds(t *testing.T) {
+	for _, p := range []time.Duration{time.Second, time.Minute, time.Hour, 100 * time.Hour} {
+		for _, a := range []time.Duration{time.Second, time.Minute, time.Hour} {
+			ea := EA(p, a)
+			if ea <= 0 || ea > 1 {
+				t.Fatalf("EA(%v,%v) = %v out of (0,1]", p, a, ea)
+			}
+		}
+	}
+}
+
+func TestFeaturesShape(t *testing.T) {
+	j := &trace.Job{Name: "cfd-v0", User: "user001", Nodes: 64, Cores: 1536,
+		Submit: 20 * time.Hour, Runtime: time.Hour, UserEstimate: 2 * time.Hour}
+	f := Features(j)
+	if len(f) != NumFeatures {
+		t.Fatalf("features = %d, want %d", len(f), NumFeatures)
+	}
+	if f[FeatNodes] != 6 { // log2(64)
+		t.Errorf("log2 nodes = %v", f[FeatNodes])
+	}
+	if f[FeatHour] != 20 {
+		t.Errorf("hour = %v", f[FeatHour])
+	}
+	// Hash dims are signed bits.
+	for i := 0; i < nameDims+userDims; i++ {
+		if f[i] != 1 && f[i] != -1 {
+			t.Fatalf("hash dim %d = %v, want ±1", i, f[i])
+		}
+	}
+	// Same name embeds identically; different users (almost surely) differ
+	// somewhere in the user block.
+	j2 := *j
+	j2.User = "other"
+	f2 := Features(&j2)
+	for i := 0; i < nameDims; i++ {
+		if f2[i] != f[i] {
+			t.Fatal("same name, different embedding")
+		}
+	}
+	same := true
+	for i := nameDims; i < nameDims+userDims; i++ {
+		if f2[i] != f[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different users collided across all user dims (improbable)")
+	}
+}
+
+func TestLogSecondsRoundTrip(t *testing.T) {
+	for _, d := range []time.Duration{time.Second, time.Minute, 3 * time.Hour, 40 * time.Hour} {
+		got := fromLogSeconds(logSeconds(d))
+		ratio := float64(got) / float64(d)
+		if ratio < 0.999 || ratio > 1.001 {
+			t.Errorf("round trip %v -> %v", d, got)
+		}
+	}
+	// Clamps: tiny and absurd values stay sane.
+	if fromLogSeconds(-10) < time.Second {
+		t.Error("low clamp failed")
+	}
+	if fromLogSeconds(100) > 40*24*time.Hour {
+		t.Error("high clamp failed")
+	}
+}
+
+func TestUserEstimator(t *testing.T) {
+	var u User
+	j := &trace.Job{UserEstimate: 2 * time.Hour}
+	got, ok := u.Estimate(j)
+	if !ok || got != 2*time.Hour {
+		t.Error("user estimator must echo the request")
+	}
+}
+
+func TestLast2(t *testing.T) {
+	l := NewLast2()
+	j := &trace.Job{User: "a"}
+	if _, ok := l.Estimate(j); ok {
+		t.Error("cold Last-2 must decline")
+	}
+	l.Observe(trace.Job{User: "a", Runtime: time.Hour})
+	if _, ok := l.Estimate(j); ok {
+		t.Error("Last-2 with one sample must decline")
+	}
+	l.Observe(trace.Job{User: "a", Runtime: 3 * time.Hour})
+	got, ok := l.Estimate(j)
+	if !ok || got != 2*time.Hour {
+		t.Errorf("Last-2 = %v, want 2h", got)
+	}
+	// Sliding: a third observation evicts the first.
+	l.Observe(trace.Job{User: "a", Runtime: 5 * time.Hour})
+	got, _ = l.Estimate(j)
+	if got != 4*time.Hour {
+		t.Errorf("Last-2 after slide = %v, want 4h", got)
+	}
+	// Different user is independent.
+	if _, ok := l.Estimate(&trace.Job{User: "b"}); ok {
+		t.Error("Last-2 leaked across users")
+	}
+}
+
+func TestPREPPerPath(t *testing.T) {
+	p := NewPREP()
+	if _, ok := p.Estimate(&trace.Job{Name: "x"}); ok {
+		t.Error("cold PREP must decline")
+	}
+	for i := 0; i < 5; i++ {
+		p.Observe(trace.Job{Name: "x", Runtime: time.Hour})
+	}
+	got, ok := p.Estimate(&trace.Job{Name: "x"})
+	if !ok {
+		t.Fatal("PREP has data but declined")
+	}
+	ratio := float64(got) / float64(time.Hour)
+	if ratio < 0.95 || ratio > 1.05 {
+		t.Errorf("PREP = %v, want ~1h", got)
+	}
+	if _, ok := p.Estimate(&trace.Job{Name: "y"}); ok {
+		t.Error("PREP leaked across paths")
+	}
+}
+
+func TestPREPRingEviction(t *testing.T) {
+	p := NewPREP()
+	for i := 0; i < prepWindow; i++ {
+		p.Observe(trace.Job{Name: "x", Runtime: time.Minute})
+	}
+	for i := 0; i < prepWindow; i++ {
+		p.Observe(trace.Job{Name: "x", Runtime: time.Hour})
+	}
+	got, _ := p.Estimate(&trace.Job{Name: "x"})
+	ratio := float64(got) / float64(time.Hour)
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("PREP after eviction = %v, want ~1h", got)
+	}
+}
+
+func replayTrace(n int) []trace.Job {
+	return trace.Generate(trace.NGTianheConfig(n)).Jobs
+}
+
+func TestFrameworkLifecycle(t *testing.T) {
+	jobs := replayTrace(3000)
+	f := NewFramework(FrameworkConfig{})
+	// Cold: no prediction.
+	if _, ok := f.Estimate(&jobs[0]); ok {
+		t.Error("cold framework must decline")
+	}
+	res := Evaluate(f, jobs)
+	if f.Generations < 2 {
+		t.Errorf("model generations = %d, want >= 2 over the trace span", f.Generations)
+	}
+	// The AEA gate withholds low-confidence clusters, so coverage sits
+	// well below 1 but the covered predictions are accurate.
+	if res.Coverage < 0.2 {
+		t.Errorf("coverage = %v", res.Coverage)
+	}
+	if res.AEA < 0.70 {
+		t.Errorf("framework AEA = %.3f, want >= 0.70", res.AEA)
+	}
+}
+
+func TestFrameworkSlackReducesUnderestimation(t *testing.T) {
+	jobs := replayTrace(2500)
+	noSlack := Evaluate(NewFramework(FrameworkConfig{Alpha: 1.0}), jobs)
+	slack := Evaluate(NewFramework(FrameworkConfig{Alpha: 1.10}), jobs)
+	if slack.UnderestimateRate >= noSlack.UnderestimateRate {
+		t.Errorf("slack did not reduce UR: %.3f vs %.3f",
+			slack.UnderestimateRate, noSlack.UnderestimateRate)
+	}
+}
+
+func TestFrameworkGateUsesUserEstimateWhenAEALow(t *testing.T) {
+	jobs := replayTrace(2000)
+	f := NewFramework(FrameworkConfig{AEAGate: 1.01}) // gate can never pass (AEA <= 1)
+	for i := range jobs[:1500] {
+		f.Predict(&jobs[i])
+		f.Complete(&jobs[i])
+	}
+	j := jobs[1600]
+	p := f.Predict(&j)
+	if p.UsedModel || p.Used != j.UserEstimate {
+		t.Error("with an unpassable gate the user estimate must win")
+	}
+	// No user estimate: model is adopted regardless of the gate.
+	j2 := jobs[1601]
+	j2.UserEstimate = 0
+	p2 := f.Predict(&j2)
+	if !p2.UsedModel || p2.Used != p2.Model {
+		t.Error("without a user estimate the model must be adopted")
+	}
+}
+
+func TestFrameworkRefreshCadence(t *testing.T) {
+	jobs := replayTrace(4000)
+	f := NewFramework(FrameworkConfig{RefreshEvery: 10 * time.Hour})
+	Evaluate(f, jobs)
+	// 30 days / 10 h ≈ up to 72 refresh opportunities; expect at least a
+	// handful and no runaway regeneration per job.
+	if f.Generations < 3 || f.Generations > 100 {
+		t.Errorf("generations = %d", f.Generations)
+	}
+}
+
+func TestFrameworkBeatsUserAndSimpleBaselines(t *testing.T) {
+	// The Fig. 11b headline: ESlurm ~84% AEA, ~10% UR; SVM/RF/Last-2 below
+	// 70% AEA with UR above 25%; user estimates least accurate.
+	jobs := replayTrace(6000)
+	framework := Evaluate(NewFramework(FrameworkConfig{}), jobs)
+	user := Evaluate(User{}, jobs)
+	last2 := Evaluate(NewLast2(), jobs)
+
+	if framework.AEA <= user.AEA {
+		t.Errorf("framework AEA %.3f <= user %.3f", framework.AEA, user.AEA)
+	}
+	if framework.AEA <= last2.AEA {
+		t.Errorf("framework AEA %.3f <= Last-2 %.3f", framework.AEA, last2.AEA)
+	}
+	if framework.AEA < 0.75 {
+		t.Errorf("framework AEA = %.3f, want >= 0.75 (paper: 0.84)", framework.AEA)
+	}
+	if framework.UnderestimateRate > 0.40 {
+		t.Errorf("framework UR = %.3f, want low", framework.UnderestimateRate)
+	}
+	if framework.UnderestimateRate >= last2.UnderestimateRate {
+		t.Errorf("framework UR %.3f not below Last-2 UR %.3f",
+			framework.UnderestimateRate, last2.UnderestimateRate)
+	}
+}
+
+func TestEvaluateEmptyTrace(t *testing.T) {
+	res := Evaluate(User{}, nil)
+	if res.Jobs != 0 || res.AEA != 0 {
+		t.Error("empty evaluation must be zero")
+	}
+}
+
+func TestAllBaselinesRunCleanly(t *testing.T) {
+	jobs := replayTrace(1500)
+	ests := []Estimator{
+		User{}, NewLast2(), NewSVM(), NewRandomForest(1),
+		NewIRPA(2), NewTRIP(), NewPREP(), NewFramework(FrameworkConfig{}),
+	}
+	for _, e := range ests {
+		res := Evaluate(e, jobs)
+		if res.Coverage > 0 && (res.AEA <= 0 || res.AEA > 1) {
+			t.Errorf("%s: AEA = %v out of range", e.Name(), res.AEA)
+		}
+		if res.UnderestimateRate < 0 || res.UnderestimateRate > 1 {
+			t.Errorf("%s: UR = %v", e.Name(), res.UnderestimateRate)
+		}
+	}
+}
+
+func TestFrameworkAutoTune(t *testing.T) {
+	jobs := replayTrace(2000)
+	f := NewFramework(FrameworkConfig{AutoTune: true, RefreshEvery: 24 * time.Hour})
+	res := Evaluate(f, jobs)
+	if f.Generations == 0 {
+		t.Fatal("auto-tuned framework never trained")
+	}
+	if res.Coverage > 0 && res.AEA < 0.6 {
+		t.Errorf("auto-tuned AEA = %.3f, suspiciously low", res.AEA)
+	}
+}
+
+func TestClusterStatsObservability(t *testing.T) {
+	jobs := replayTrace(2000)
+	f := NewFramework(FrameworkConfig{})
+	if f.ClusterStats() != nil {
+		t.Error("stats before first generation must be nil")
+	}
+	Evaluate(f, jobs)
+	stats := f.ClusterStats()
+	if len(stats) == 0 {
+		t.Fatal("no cluster stats after training")
+	}
+	trusted, total := 0, 0
+	for _, s := range stats {
+		if s.AEA < 0 || s.AEA > 1 {
+			t.Fatalf("cluster %d AEA = %v", s.Cluster, s.AEA)
+		}
+		if s.Trusted {
+			trusted++
+		}
+		total += s.TrainSize
+	}
+	if trusted == 0 {
+		t.Error("no trusted clusters at all")
+	}
+	if total == 0 {
+		t.Error("train sizes all zero")
+	}
+}
+
+func TestSaveLoadState(t *testing.T) {
+	jobs := replayTrace(1500)
+	f := NewFramework(FrameworkConfig{})
+	Evaluate(f, jobs[:1000])
+	if f.Generations == 0 {
+		t.Fatal("no model to persist behind")
+	}
+
+	var buf bytes.Buffer
+	if err := f.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh framework restored from the snapshot predicts immediately —
+	// no cold start after the restart.
+	g := NewFramework(FrameworkConfig{})
+	if err := g.LoadState(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if g.HistoryLen() != f.HistoryLen() {
+		t.Fatalf("history %d vs %d", g.HistoryLen(), f.HistoryLen())
+	}
+	if g.Generations != 1 {
+		t.Fatalf("restored framework generations = %d, want immediate regeneration", g.Generations)
+	}
+	covered := 0
+	for i := 1000; i < 1100; i++ {
+		if _, ok := g.Estimate(&jobs[i]); ok {
+			covered++
+		}
+	}
+	if covered == 0 {
+		t.Error("restored framework declined everything")
+	}
+}
+
+func TestLoadStateRejectsGarbage(t *testing.T) {
+	f := NewFramework(FrameworkConfig{})
+	if err := f.LoadState(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if err := f.LoadState(strings.NewReader(`{"version":99,"history":[]}`)); err == nil {
+		t.Error("future version accepted")
+	}
+}

@@ -1,0 +1,144 @@
+// Package experiment contains one driver per table and figure of the
+// paper's evaluation (Section VII), each emitting the same rows/series the
+// paper reports. DESIGN.md §3 maps experiment IDs to drivers; EXPERIMENTS.md
+// records paper-vs-measured values.
+//
+// Scale note: the paper's runs span 4K–20K+ nodes over 24 hours to 10
+// days. Every driver here reproduces the paper's node counts by default
+// but exposes a duration/job-count knob so the default `benchrunner`
+// invocation finishes in minutes; rates are extrapolated where the paper
+// reports long-horizon totals (flagged in the table footer).
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Table is a generic result table (a figure's data series is a table with
+// an X column).
+type Table struct {
+	// ID is the experiment identifier, e.g. "fig8b" or "table5".
+	ID string
+	// Title describes the artifact being reproduced.
+	Title string
+	// Columns are the header cells.
+	Columns []string
+	// Rows are the data cells, already formatted.
+	Rows [][]string
+	// Note carries caveats (e.g. extrapolation factors).
+	Note string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(w, "  note: %s\n", t.Note)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// fmtDur renders a duration with sensible precision for tables.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d == 0:
+		return "0"
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.0fµs", float64(d)/float64(time.Microsecond))
+	case d < time.Second:
+		return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+	case d < time.Minute:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d < time.Hour:
+		return fmt.Sprintf("%.1fm", d.Minutes())
+	default:
+		return fmt.Sprintf("%.1fh", d.Hours())
+	}
+}
+
+// fmtBytes renders byte counts in binary units.
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2fGB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
+// fmtPct renders a ratio as a percentage.
+func fmtPct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }
+
+// fmtF renders a float with 2–3 significant decimals.
+func fmtF(f float64) string { return fmt.Sprintf("%.3f", f) }
+
+// Table1 reproduces Table I verbatim: the resource managers of the top-10
+// supercomputers as of November 2021 — context for the centralized-RM
+// problem statement, not a measurement.
+func Table1() *Table {
+	t := &Table{
+		ID:      "table1",
+		Title:   "Resource managers of top-10 supercomputers (Nov 2021)",
+		Columns: []string{"Rank", "System", "RM"},
+	}
+	rows := [][2]string{
+		{"Fugaku", "Fujitsu"}, {"Summit", "LSF"}, {"Sierra", "LSF"},
+		{"Sunway Taihulight", "LSF"}, {"Perlmutter", "Slurm"}, {"Selene", "Slurm"},
+		{"Tianhe-2A", "Slurm"}, {"JUWELS", "Slurm"}, {"HPC5", "unknown"},
+		{"Frontera", "Slurm"},
+	}
+	for i, r := range rows {
+		t.AddRow(fmt.Sprintf("%d", i+1), r[0], r[1])
+	}
+	return t
+}

@@ -1,0 +1,326 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"eslurm/internal/cluster"
+	"eslurm/internal/comm"
+	"eslurm/internal/core"
+	"eslurm/internal/faults"
+	"eslurm/internal/monitor"
+	"eslurm/internal/predict"
+	"eslurm/internal/rm"
+	"eslurm/internal/simnet"
+)
+
+// failSpread fails `count` compute nodes spread uniformly across the
+// cluster and returns the failed set.
+func failSpread(c *cluster.Cluster, count int) map[cluster.NodeID]bool {
+	failed := make(map[cluster.NodeID]bool, count)
+	comps := c.Computes()
+	if count <= 0 || len(comps) == 0 {
+		return failed
+	}
+	stride := len(comps) / count
+	if stride == 0 {
+		stride = 1
+	}
+	for i := 0; i < count && i*stride < len(comps); i++ {
+		id := comps[i*stride]
+		c.Fail(id)
+		failed[id] = true
+	}
+	return failed
+}
+
+// Fig7f reproduces the job-occupation-time experiment: parallel jobs of
+// different sizes with a fixed 10 s runtime loaded through each of the six
+// RMs; occupation spans allocation, spawn, the run itself, and reclaim.
+func Fig7f(clusterNodes int, sizes []int) *Table {
+	if len(sizes) == 0 {
+		sizes = []int{64, 256, 1024, 2048, 4096}
+	}
+	t := &Table{
+		ID:      "fig7f",
+		Title:   fmt.Sprintf("Job occupation time vs job size (%d-node cluster, 10s jobs)", clusterNodes),
+		Columns: append([]string{"RM"}, sizesHeader(sizes)...),
+	}
+	type mk struct {
+		name string
+		new  func(c *cluster.Cluster) rm.RM
+	}
+	mks := []mk{
+		{"SGE", func(c *cluster.Cluster) rm.RM { return rm.NewCentralized(c, rm.SGEProfile()) }},
+		{"Torque", func(c *cluster.Cluster) rm.RM { return rm.NewCentralized(c, rm.TorqueProfile()) }},
+		{"OpenPBS", func(c *cluster.Cluster) rm.RM { return rm.NewCentralized(c, rm.OpenPBSProfile()) }},
+		{"LSF", func(c *cluster.Cluster) rm.RM { return rm.NewCentralized(c, rm.LSFProfile()) }},
+		{"Slurm", func(c *cluster.Cluster) rm.RM { return rm.NewCentralized(c, rm.SlurmProfile()) }},
+		{"ESlurm", func(c *cluster.Cluster) rm.RM { return rm.NewESlurm(c) }},
+	}
+	for _, m := range mks {
+		row := []string{m.name}
+		for _, size := range sizes {
+			if size > clusterNodes {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, fmtDur(OccupationTime(m.new, clusterNodes, size)))
+		}
+		t.AddRow(row...)
+	}
+	t.Note = "paper: SGE/Torque/OpenPBS explode past 1K nodes; ESlurm stays below 15s at every size"
+	return t
+}
+
+func sizesHeader(sizes []int) []string {
+	out := make([]string, len(sizes))
+	for i, s := range sizes {
+		out[i] = fmt.Sprintf("%d nodes", s)
+	}
+	return out
+}
+
+// OccupationTime measures one job's occupation (submit → resources fully
+// released) of the given size on an otherwise idle cluster under the given
+// RM: allocation+spawn (load), the fixed 10 s run, and reclaim (term).
+func OccupationTime(mk func(c *cluster.Cluster) rm.RM, clusterNodes, jobNodes int) time.Duration {
+	load, term := OccupationProbe(mk, clusterNodes, jobNodes, 0)
+	return load + 10*time.Second + term
+}
+
+// OccupationProbe measures the RM's job load and termination latencies for
+// one job of the given size, with failedFrac of the cluster's nodes down
+// (the production failure background). The scheduling drivers call it per
+// job size to build their sched.Overhead lookups.
+func OccupationProbe(mk func(c *cluster.Cluster) rm.RM, clusterNodes, jobNodes int, failedFrac float64) (load, term time.Duration) {
+	e := simnet.NewEngine(42)
+	satellites := 1
+	if clusterNodes >= 1024 {
+		satellites = 2 + clusterNodes/5120 // paper: ~1 satellite per 5K slaves
+	}
+	c := cluster.New(e, cluster.Config{Computes: clusterNodes, Satellites: satellites})
+	r := mk(c)
+	r.Start()
+	e.RunUntil(2 * time.Second)
+	if failedFrac > 0 {
+		// Fail nodes outside the probed job (a failed allocation would be
+		// replaced by the scheduler); the broadcast still traverses them
+		// in heartbeats but the job path sees a healthy allocation. For
+		// tree structures the job's own relay nodes matter, so also fail
+		// a proportional slice inside the job.
+		failSpread(c, int(float64(jobNodes)*failedFrac))
+	}
+	nodes := c.Computes()[:jobNodes]
+	start := e.Now()
+	r.LoadJob(nodes, func(d time.Duration) { load = d })
+	e.RunUntil(start + 30*time.Minute)
+	termStart := e.Now()
+	r.TerminateJob(nodes, func(d time.Duration) { term = d })
+	e.RunUntil(termStart + 30*time.Minute)
+	r.Stop()
+	return load, term
+}
+
+// Fig8a reproduces the message-broadcast-time comparison for the job
+// loading (message 1) and job termination (message 2) messages on a 4K
+// cluster with a production-like 2% failure mix: Slurm's forwarding tree,
+// ESlurm without FP-Tree (null predictor), and full ESlurm.
+func Fig8a(nodes int) *Table {
+	t := &Table{
+		ID:      "fig8a",
+		Title:   fmt.Sprintf("Average broadcast time, %d nodes, 2%% failed", nodes),
+		Columns: []string{"System", "job loading msg", "job termination msg"},
+	}
+	loadBytes, termBytes := 4096, 1024
+
+	type variant struct {
+		name string
+		run  func(size int) time.Duration
+	}
+	slurmTree := func(size int) time.Duration {
+		e := simnet.NewEngine(7)
+		c := cluster.New(e, cluster.Config{Computes: nodes, Satellites: 1})
+		failSpread(c, nodes/50)
+		b := comm.NewBroadcaster(c)
+		var res comm.Result
+		comm.KTree{Width: 50}.Broadcast(b, c.Master().ID, c.Computes(), size, func(r comm.Result) { res = r })
+		e.Run()
+		return res.DeliveredElapsed
+	}
+	eslurm := func(fp bool) func(size int) time.Duration {
+		return func(size int) time.Duration {
+			e := simnet.NewEngine(7)
+			sats := 2 + nodes/5120
+			c := cluster.New(e, cluster.Config{Computes: nodes, Satellites: sats})
+			failed := failSpread(c, nodes/50)
+			cfg := core.DefaultConfig()
+			var p predict.Predictor = predict.Null{}
+			if fp {
+				st := predict.Static{}
+				for id := range failed {
+					st[id] = true
+				}
+				p = st
+			}
+			m := core.NewMaster(c, cfg, p)
+			m.Start()
+			e.RunUntil(2 * time.Second)
+			var res comm.Result
+			m.Broadcast(c.Computes(), size, func(r comm.Result) { res = r })
+			e.RunUntil(e.Now() + 10*time.Minute)
+			m.Stop()
+			return res.DeliveredElapsed
+		}
+	}
+	variants := []variant{
+		{"Slurm (fanout tree)", slurmTree},
+		{"ESlurm w/o FP-Tree", eslurm(false)},
+		{"ESlurm", eslurm(true)},
+	}
+	for _, v := range variants {
+		t.AddRow(v.name, fmtDur(v.run(loadBytes)), fmtDur(v.run(termBytes)))
+	}
+	t.Note = "paper: ESlurm cuts average broadcast time 63.7%/73.6% vs Slurm; FP-Tree alone contributes 36.3%/54.9%"
+	return t
+}
+
+// Fig8b reproduces the communication-structure comparison under failures:
+// broadcast time of ring, star, shared-memory, plain tree and FP-Tree
+// structures at increasing failure ratios.
+func Fig8b(nodes int, ratios []float64) *Table {
+	if len(ratios) == 0 {
+		ratios = []float64{0, 0.05, 0.10, 0.20, 0.30}
+	}
+	cols := []string{"structure"}
+	for _, r := range ratios {
+		cols = append(cols, fmtPct(r)+" failed")
+	}
+	t := &Table{
+		ID:      "fig8b",
+		Title:   fmt.Sprintf("Broadcast time vs failure ratio (%d nodes, job loading msg)", nodes),
+		Columns: cols,
+	}
+
+	run := func(s comm.Structure, ratio float64, predicted bool) time.Duration {
+		e := simnet.NewEngine(11)
+		c := cluster.New(e, cluster.Config{Computes: nodes, Satellites: 1})
+		failed := failSpread(c, int(float64(nodes)*ratio))
+		if fp, ok := s.(comm.FPTree); ok && predicted {
+			st := predict.Static{}
+			for id := range failed {
+				st[id] = true
+			}
+			fp.Predictor = st
+			s = fp
+		}
+		b := comm.NewBroadcaster(c)
+		var res comm.Result
+		s.Broadcast(b, c.Satellites()[0], c.Computes(), 4096, func(r comm.Result) { res = r })
+		e.Run()
+		return res.DeliveredElapsed
+	}
+
+	structures := []comm.Structure{
+		comm.Ring{}, comm.Star{}, comm.SharedMem{}, comm.KTree{}, comm.FPTree{},
+	}
+	for _, s := range structures {
+		row := []string{s.Name()}
+		for _, ratio := range ratios {
+			row = append(row, fmtDur(run(s, ratio, true)))
+		}
+		t.AddRow(row...)
+	}
+	t.Note = "paper: ring/star/tree degrade sharply; shared-memory flat; FP-Tree minimal and below 10s even at 30%"
+	return t
+}
+
+// Fig11a reproduces the satellite-count sweep: heartbeat-message broadcast
+// time on the full-scale NG-Tianhe (20K+ nodes) for different numbers of
+// satellite nodes.
+func Fig11a(nodes int, satCounts []int) *Table {
+	if len(satCounts) == 0 {
+		satCounts = []int{5, 10, 20, 30, 40, 50, 60}
+	}
+	t := &Table{
+		ID:      "fig11a",
+		Title:   fmt.Sprintf("Heartbeat broadcast time vs satellite count (%d nodes)", nodes),
+		Columns: []string{"satellites", "broadcast time"},
+	}
+	for _, m := range satCounts {
+		e := simnet.NewEngine(13)
+		c := cluster.New(e, cluster.Config{Computes: nodes, Satellites: m})
+		// Production failure background: ~1% down.
+		failSpread(c, nodes/100)
+		master := core.NewMaster(c, core.DefaultConfig(), predict.Oracle{Cluster: c})
+		master.Start()
+		e.RunUntil(2 * time.Second)
+		var res comm.Result
+		master.Broadcast(c.Computes(), master.Config().HeartbeatMsgBytes, func(r comm.Result) { res = r })
+		e.RunUntil(e.Now() + 10*time.Minute)
+		master.Stop()
+		t.AddRow(fmt.Sprintf("%d", m), fmtDur(res.DeliveredElapsed))
+	}
+	t.Note = "paper: ~20 satellites optimal at 20K+ nodes (≈1 per 5K slaves)"
+	return t
+}
+
+// Placement reproduces the FP-Tree node-placement statistics of §VII-A: a
+// multi-day deployment with small failure events plus one large hardware-
+// replacement event, an alert-driven predictor fed by the monitoring
+// subsystem, and the fraction of actually-failed nodes that FP-Tree placed
+// at leaves (paper: 81.7%).
+func Placement(nodes int, days int) *Table {
+	if days <= 0 {
+		days = 2
+	}
+	e := simnet.NewEngine(17)
+	sats := 2
+	c := cluster.New(e, cluster.Config{Computes: nodes, Satellites: sats})
+	sub := monitor.New(c, monitor.Config{DetectionProb: 0.85, FalseAlertsPerNodeDay: 0.05})
+	pred := predict.NewAlertDriven(e, sub, 45*time.Minute)
+
+	cfg := core.DefaultConfig()
+	cfg.HeartbeatInterval = 5 * time.Minute
+	// Measure the monitoring pipeline alone, as the paper does: without
+	// the master's own unreachable-node feedback, placement recall is
+	// bounded by the alert detector.
+	cfg.DisableSuspectFeedback = true
+	m := core.NewMaster(c, cfg, pred)
+	stats := &comm.PlacementStats{}
+	m.Placement = stats
+	m.Start()
+
+	// Failure campaign mirroring the paper's deployment: a few single-node
+	// failures per day plus one large hardware-replacement event on the
+	// middle day. ~18% of failures are silent to monitoring (the fault
+	// also severs the monitoring path), which bounds prediction recall.
+	horizon := time.Duration(days) * 24 * time.Hour
+	campaign := faults.New(c, sub, 0.18)
+	campaign.Background(4, horizon, 2*time.Hour, 5*time.Hour)
+	campaign.Burst(horizon/2, nodes/33, 6*time.Hour)
+
+	e.RunUntil(horizon)
+	m.Stop()
+	// Drain in-flight broadcasts; the monitor's background noise process
+	// never terminates, so a full Run() would spin forever.
+	e.RunUntil(horizon + 30*time.Minute)
+
+	t := &Table{
+		ID:      "placement",
+		Title:   fmt.Sprintf("FP-Tree leaf placement of failed nodes (%d nodes, %d days)", nodes, days),
+		Columns: []string{"metric", "value"},
+	}
+	t.AddRow("FP-Trees built", fmt.Sprintf("%d", stats.TreesBuilt))
+	avg := 0
+	if stats.TreesBuilt > 0 {
+		avg = stats.NodesTotal / stats.TreesBuilt
+	}
+	t.AddRow("avg nodes per FP-Tree", fmt.Sprintf("%d", avg))
+	t.AddRow("failure events injected", fmt.Sprintf("%d (%d silent)", len(campaign.Events), campaign.SilentCount()))
+	t.AddRow("failed nodes encountered", fmt.Sprintf("%d", stats.FailedEncountered))
+	t.AddRow("placed at leaves", fmt.Sprintf("%d", stats.FailedAtLeaves))
+	t.AddRow("leaf placement ratio", fmtPct(stats.LeafPlacementRatio()))
+	t.Note = "paper: 81.7% of failed nodes placed on leaves over a 10-day 4K-node deployment"
+	return t
+}

@@ -1,0 +1,119 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"eslurm/internal/estimate"
+	"eslurm/internal/trace"
+)
+
+// workloadK is the elbow-derived cluster count for the synthetic traces
+// (the paper's own trace gave K=15 by the same method, Section V-A).
+const workloadK = 40
+
+// Fig5 reproduces the trace-locality analysis of Fig. 5 on synthetic
+// Tianhe-2A and NG-Tianhe traces: (a) the CDF of the user runtime-
+// estimation accuracy P = t_s/t_r, (b) the job-correlation ratio vs the
+// submission interval, (c) the job-correlation ratio vs the job-ID gap.
+func Fig5(jobsPerTrace int) []*Table {
+	traces := []*trace.Trace{
+		trace.Generate(trace.Tianhe2AConfig(jobsPerTrace)),
+		trace.Generate(trace.NGTianheConfig(jobsPerTrace)),
+	}
+
+	cdf := &Table{
+		ID:      "fig5a",
+		Title:   "CDF of user runtime-estimation accuracy P = t_s/t_r (P>1 overestimates)",
+		Columns: []string{"P <=", traces[0].System, traces[1].System},
+	}
+	ths := []float64{0.25, 0.5, 0.75, 1.0, 1.5, 2, 3, 4, 6, 8, 12, 16}
+	curves := make([][]float64, len(traces))
+	for i, tr := range traces {
+		curves[i] = tr.PCDF(ths)
+	}
+	for k, th := range ths {
+		cdf.AddRow(fmt.Sprintf("%.2f", th), fmtF(curves[0][k]), fmtF(curves[1][k]))
+	}
+	cdf.Note = fmt.Sprintf("overestimated fraction: %s %s / %s %s (paper: 80-90%%)",
+		traces[0].System, fmtPct(traces[0].OverestimateFraction()),
+		traces[1].System, fmtPct(traces[1].OverestimateFraction()))
+
+	interval := &Table{
+		ID:      "fig5b",
+		Title:   "Job-correlation ratio vs submission interval (hours)",
+		Columns: []string{"interval(h)", traces[0].System, traces[1].System},
+	}
+	rng := rand.New(rand.NewSource(1))
+	const maxH = 40
+	ptsA := traces[0].CorrelationVsInterval(maxH, 3000, rng)
+	ptsB := traces[1].CorrelationVsInterval(maxH, 3000, rng)
+	for h := 0; h < maxH; h += 2 {
+		interval.AddRow(fmt.Sprintf("%d", h), fmtF(ptsA[h].Ratio), fmtF(ptsB[h].Ratio))
+	}
+	interval.Note = "paper: Tianhe-2A stabilizes ~0.3 past 30h, NG-Tianhe decays to ~0"
+
+	gap := &Table{
+		ID:      "fig5c",
+		Title:   "Job-correlation ratio vs job-ID gap",
+		Columns: []string{"ID gap", traces[0].System, traces[1].System},
+	}
+	gA := traces[0].CorrelationVsIDGap(1400, 100, 3000, rng)
+	gB := traces[1].CorrelationVsIDGap(1400, 100, 3000, rng)
+	for i := range gA {
+		gap.AddRow(fmt.Sprintf("%.0f", gA[i].X), fmtF(gA[i].Ratio), fmtF(gB[i].Ratio))
+	}
+	gap.Note = "paper: decays with the gap, stabilizing ~0.08 past gap 700"
+
+	return []*Table{cdf, interval, gap}
+}
+
+// Fig11b reproduces the runtime-estimator comparison: AEA and
+// underestimation rate for the user estimates, SVM, RandomForest, Last-2,
+// IRPA, TRIP, PREP and the ESlurm framework, replayed over an NG-Tianhe
+// trace ("historical workloads on the NG-Tianhe").
+func Fig11b(jobs int) *Table {
+	tr := trace.Generate(trace.NGTianheConfig(jobs))
+	t := &Table{
+		ID:      "fig11b",
+		Title:   "Runtime-estimator comparison on NG-Tianhe trace",
+		Columns: []string{"Estimator", "AEA", "UnderestimateRate", "Coverage"},
+	}
+	ests := []estimate.Estimator{
+		estimate.User{},
+		estimate.NewSVM(),
+		estimate.NewRandomForest(1),
+		estimate.NewLast2(),
+		estimate.NewIRPA(2),
+		estimate.NewTRIP(),
+		estimate.NewPREP(),
+		// K follows the paper's methodology: derived per workload via the
+		// elbow analysis (the paper's trace gave 15; this synthetic
+		// workload's wider application-name space gives ~40).
+		estimate.NewFramework(estimate.FrameworkConfig{K: workloadK}),
+	}
+	for _, e := range ests {
+		res := estimate.Evaluate(e, tr.Jobs)
+		t.AddRow(e.Name(), fmtF(res.AEA), fmtF(res.UnderestimateRate), fmtF(res.Coverage))
+	}
+	t.Note = "paper: ESlurm best at AEA 0.84 / UR ~0.10; SVM, RF, Last-2 below 0.70 AEA with UR > 0.25"
+	return t
+}
+
+// Table8 reproduces the slack-variable sweep of Table VIII: AEA and UR of
+// the ESlurm framework for α in 1.00..1.08.
+func Table8(jobs int) *Table {
+	tr := trace.Generate(trace.NGTianheConfig(jobs))
+	t := &Table{
+		ID:      "table8",
+		Title:   "Impact of the slack variable α (Eq. 3)",
+		Columns: []string{"alpha", "AEA", "UR"},
+	}
+	for _, alpha := range []float64{1.00, 1.01, 1.02, 1.03, 1.04, 1.05, 1.06, 1.07, 1.08} {
+		f := estimate.NewFramework(estimate.FrameworkConfig{Alpha: alpha, K: workloadK})
+		res := estimate.Evaluate(f, tr.Jobs)
+		t.AddRow(fmt.Sprintf("%.2f", alpha), fmtF(res.AEA), fmtF(res.UnderestimateRate))
+	}
+	t.Note = "paper: AEA 0.87→0.80 and UR 0.54→0.11 as α grows; 1.05 chosen as the knee"
+	return t
+}

@@ -1,0 +1,281 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"eslurm/internal/cluster"
+	"eslurm/internal/estimate"
+	"eslurm/internal/predict"
+	"eslurm/internal/rm"
+	"eslurm/internal/sched"
+	"eslurm/internal/trace"
+)
+
+// overheadLookup builds a sched.Overhead from a handful of occupation
+// probes, interpolating linearly between probed sizes.
+func overheadLookup(mk func(c *cluster.Cluster) rm.RM, clusterNodes int, failedFrac float64) sched.Overhead {
+	var sizes []int
+	for _, s := range []int{16, 64, 256, 1024, 4096, 16384} {
+		if s < clusterNodes {
+			sizes = append(sizes, s)
+		}
+	}
+	sizes = append(sizes, clusterNodes)
+	loads := make([]time.Duration, len(sizes))
+	terms := make([]time.Duration, len(sizes))
+	for i, s := range sizes {
+		loads[i], terms[i] = OccupationProbe(mk, clusterNodes, s, failedFrac)
+	}
+	return func(n int) (time.Duration, time.Duration) {
+		if n <= sizes[0] {
+			return loads[0], terms[0]
+		}
+		i := sort.SearchInts(sizes, n)
+		if i >= len(sizes) {
+			return loads[len(sizes)-1], terms[len(sizes)-1]
+		}
+		if sizes[i] == n || i == 0 {
+			return loads[i], terms[i]
+		}
+		// Linear interpolation between the bracketing probes.
+		f := float64(n-sizes[i-1]) / float64(sizes[i]-sizes[i-1])
+		lerp := func(a, b time.Duration) time.Duration {
+			return a + time.Duration(f*float64(b-a))
+		}
+		return lerp(loads[i-1], loads[i]), lerp(terms[i-1], terms[i])
+	}
+}
+
+// responsePenalty models the master's request-response degradation as a
+// centralized RM saturates (§II-B: >27 s average response with 38% of
+// requests failing to connect at 20K+ nodes under Slurm). ESlurm's
+// production response time stays below 1 s at the same scale.
+func responsePenalty(name string, nodes int) time.Duration {
+	if name == "ESlurm" {
+		return 500 * time.Millisecond
+	}
+	// Grows superlinearly once the master saturates.
+	f := float64(nodes) / 20480.0
+	return time.Duration(27 * f * f * float64(time.Second))
+}
+
+// Fig10 reproduces the cluster-scale scheduling comparison of Fig. 10 /
+// Table VII: system utilization, average waiting time and average bounded
+// slowdown for the RMs deployable at each scale, replaying a synthetic
+// one-week-like trace (jobsPerScale jobs) under EASY backfill.
+func Fig10(scales []int, jobsPerScale int) []*Table {
+	if len(scales) == 0 {
+		scales = []int{1024, 4096, 16384, 20480}
+	}
+	if jobsPerScale == 0 {
+		jobsPerScale = 6000
+	}
+
+	util := &Table{ID: "fig10a", Title: "System utilization (higher is better)"}
+	wait := &Table{ID: "fig10b", Title: "Average job waiting time (lower is better)"}
+	slow := &Table{ID: "fig10c", Title: "Average bounded slowdown (lower is better)"}
+	cols := []string{"RM"}
+	for _, s := range scales {
+		cols = append(cols, fmt.Sprintf("%d nodes", s))
+	}
+	util.Columns, wait.Columns, slow.Columns = cols, cols, cols
+
+	contenders := []struct {
+		name     string
+		mk       func(c *cluster.Cluster) rm.RM
+		maxScale int
+	}{
+		{"SGE", func(c *cluster.Cluster) rm.RM { return rm.NewCentralized(c, rm.SGEProfile()) }, 1024},
+		{"Torque", func(c *cluster.Cluster) rm.RM { return rm.NewCentralized(c, rm.TorqueProfile()) }, 1024},
+		{"OpenPBS", func(c *cluster.Cluster) rm.RM { return rm.NewCentralized(c, rm.OpenPBSProfile()) }, 4096},
+		{"LSF", func(c *cluster.Cluster) rm.RM { return rm.NewCentralized(c, rm.LSFProfile()) }, 4096},
+		{"Slurm", func(c *cluster.Cluster) rm.RM { return rm.NewCentralized(c, rm.SlurmProfile()) }, 1 << 30},
+		{"ESlurm", func(c *cluster.Cluster) rm.RM {
+			return rm.NewESlurmWithPredictor(c, predict.Oracle{Cluster: c})
+		}, 1 << 30},
+	}
+
+	for _, ct := range contenders {
+		uRow := []string{ct.name}
+		wRow := []string{ct.name}
+		sRow := []string{ct.name}
+		for _, scale := range scales {
+			if scale > ct.maxScale {
+				// Table VII: SGE and Torque cannot scale past 1,024 nodes;
+				// OpenPBS and LSF stop at 4,096.
+				uRow = append(uRow, "-")
+				wRow = append(wRow, "-")
+				sRow = append(sRow, "-")
+				continue
+			}
+			res := runFig10Cell(ct.name, ct.mk, scale, jobsPerScale)
+			uRow = append(uRow, fmtPct(res.Utilization))
+			wRow = append(wRow, fmtDur(res.AvgWait))
+			sRow = append(sRow, fmt.Sprintf("%.1f", res.AvgBoundedSlowdown))
+		}
+		util.AddRow(uRow...)
+		wait.AddRow(wRow...)
+		slow.AddRow(sRow...)
+	}
+	note := "paper (full-scale NG-Tianhe): ESlurm +47.2% utilization vs Slurm, -60.5% wait, -75.8% slowdown; utilization falls with scale for all RMs"
+	util.Note, wait.Note, slow.Note = note, note, note
+	return []*Table{util, wait, slow}
+}
+
+// scaleTrace builds the replay workload for one cluster scale, following
+// Table VII's load sources (Tianhe-2A history below 20K nodes, NG-Tianhe
+// at 20K+). The job count is calibrated in a first pass so total demand
+// is ~105% of the cluster's node-hours over the week — the same offered
+// load at every scale, as replaying "the historical load on the real
+// cluster during a week" gives the paper.
+func scaleTrace(scale, jobs int) []trace.Job {
+	mk := func(n int) trace.GenConfig {
+		var cfg trace.GenConfig
+		if scale >= 20000 {
+			cfg = trace.NGTianheConfig(n)
+		} else {
+			cfg = trace.Tianhe2AConfig(n)
+		}
+		cfg.MaxNodes = scale
+		cfg.Days = 7
+		return cfg
+	}
+	probe := trace.Generate(mk(jobs))
+	demand := 0.0
+	for i := range probe.Jobs {
+		j := &probe.Jobs[i]
+		demand += float64(j.Nodes) * j.Runtime.Hours()
+	}
+	capacity := float64(scale) * 7 * 24
+	if demand <= 0 {
+		return probe.Jobs
+	}
+	calibrated := int(float64(jobs) * 1.05 * capacity / demand)
+	if calibrated < 500 {
+		calibrated = 500
+	}
+	if calibrated > 60000 {
+		calibrated = 60000
+	}
+	return trace.Generate(mk(calibrated)).Jobs
+}
+
+func runFig10Cell(name string, mk func(c *cluster.Cluster) rm.RM, scale, jobs int) sched.Result {
+	penalty := responsePenalty(name, scale)
+	base := overheadLookup(mk, scale, 0.01)
+	overhead := func(n int) (time.Duration, time.Duration) {
+		l, t := base(n)
+		return l + penalty, t
+	}
+	cfg := sched.Config{
+		Nodes:       scale,
+		Policy:      sched.Backfill,
+		Overhead:    overhead,
+		KillAtLimit: true,
+		UtilWindow:  7 * 24 * time.Hour,
+		Seed:        int64(scale),
+	}
+	if name == "ESlurm" {
+		cfg.Predictor = sched.FrameworkWalltimes{F: estimate.NewFramework(estimate.FrameworkConfig{K: workloadK})}
+	}
+	if name != "ESlurm" && scale >= 16384 {
+		// §II-B: the production centralized master crashed every ~42 h at
+		// 20K+ nodes, with ~90 min reboots.
+		cfg.CrashMTBF = time.Duration(float64(42*time.Hour) * 20480.0 / float64(scale))
+		cfg.CrashDowntime = 90 * time.Minute
+	}
+	return sched.Run(scaleTrace(scale, jobs), cfg)
+}
+
+// Ablation reproduces the §VII-D contribution analysis at full NG-Tianhe
+// scale: full ESlurm vs ESlurm without the runtime-estimation framework
+// (user walltimes) vs ESlurm without FP-Tree (plain-tree relays under the
+// production failure background), plus the Slurm reference.
+func Ablation(scale, jobs int) *Table {
+	if scale == 0 {
+		scale = 20480
+	}
+	if jobs == 0 {
+		jobs = 6000
+	}
+	t := &Table{
+		ID:      "ablation",
+		Title:   fmt.Sprintf("ESlurm component contributions at %d nodes", scale),
+		Columns: []string{"configuration", "utilization", "avg wait", "slowdown"},
+	}
+	jobsList := scaleTrace(scale, jobs)
+
+	esMk := func(c *cluster.Cluster) rm.RM {
+		return rm.NewESlurmWithPredictor(c, predict.Oracle{Cluster: c})
+	}
+	slurmMk := func(c *cluster.Cluster) rm.RM { return rm.NewCentralized(c, rm.SlurmProfile()) }
+
+	run := func(name string, overhead sched.Overhead, framework bool, crash bool) sched.Result {
+		cfg := sched.Config{
+			Nodes: scale, Policy: sched.Backfill, Overhead: overhead,
+			KillAtLimit: true, UtilWindow: 7 * 24 * time.Hour, Seed: int64(scale),
+		}
+		if framework {
+			cfg.Predictor = sched.FrameworkWalltimes{F: estimate.NewFramework(estimate.FrameworkConfig{K: workloadK})}
+		}
+		if crash {
+			cfg.CrashMTBF = 42 * time.Hour
+			cfg.CrashDowntime = 90 * time.Minute
+		}
+		_ = name
+		return sched.Run(jobsList, cfg)
+	}
+
+	esOverhead := overheadLookup(esMk, scale, 0.01)
+	// Without FP-Tree: prediction disabled, so the satellite relays pay
+	// timeouts on failed interior nodes.
+	noFPOverhead := overheadLookup(func(c *cluster.Cluster) rm.RM {
+		return rm.NewESlurm(c)
+	}, scale, 0.01)
+	slurmOverhead := overheadLookup(slurmMk, scale, 0.01)
+
+	addRow := func(name string, r sched.Result) {
+		t.AddRow(name, fmtPct(r.Utilization), fmtDur(r.AvgWait), fmt.Sprintf("%.1f", r.AvgBoundedSlowdown))
+	}
+	addRow("ESlurm (full)", run("full", withPenalty(esOverhead, responsePenalty("ESlurm", scale)), true, false))
+	addRow("ESlurm w/o estimator", run("noest", withPenalty(esOverhead, responsePenalty("ESlurm", scale)), false, false))
+	addRow("ESlurm w/o FP-Tree", run("nofp", withPenalty(noFPOverhead, responsePenalty("ESlurm", scale)), true, false))
+	addRow("Slurm", run("slurm", withPenalty(slurmOverhead, responsePenalty("Slurm", scale)), false, true))
+	t.Note = "paper: estimator contributes 8.7 utilization points, FP-Tree 6.2, vs a 47.2-point total gap to Slurm"
+	return t
+}
+
+// OccupationProbeLookup builds a sched.Overhead for a named RM at a given
+// cluster scale, probed under a 1% failure background — the hook the
+// eslurmctl CLI uses to couple the communication model to the scheduler.
+func OccupationProbeLookup(rmName string, clusterNodes int) sched.Overhead {
+	var mk func(c *cluster.Cluster) rm.RM
+	switch rmName {
+	case "eslurm":
+		mk = func(c *cluster.Cluster) rm.RM {
+			return rm.NewESlurmWithPredictor(c, predict.Oracle{Cluster: c})
+		}
+	case "slurm":
+		mk = func(c *cluster.Cluster) rm.RM { return rm.NewCentralized(c, rm.SlurmProfile()) }
+	case "lsf":
+		mk = func(c *cluster.Cluster) rm.RM { return rm.NewCentralized(c, rm.LSFProfile()) }
+	case "sge":
+		mk = func(c *cluster.Cluster) rm.RM { return rm.NewCentralized(c, rm.SGEProfile()) }
+	case "torque":
+		mk = func(c *cluster.Cluster) rm.RM { return rm.NewCentralized(c, rm.TorqueProfile()) }
+	case "openpbs":
+		mk = func(c *cluster.Cluster) rm.RM { return rm.NewCentralized(c, rm.OpenPBSProfile()) }
+	default:
+		return nil
+	}
+	return overheadLookup(mk, clusterNodes, 0.01)
+}
+
+func withPenalty(base sched.Overhead, p time.Duration) sched.Overhead {
+	return func(n int) (time.Duration, time.Duration) {
+		l, t := base(n)
+		return l + p, t
+	}
+}

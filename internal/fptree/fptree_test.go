@@ -1,0 +1,326 @@
+package fptree
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func ints(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestLeafSlotsSmall(t *testing.T) {
+	// n=1: single node is a leaf.
+	if got := LeafSlots(1, 4); !got[0] {
+		t.Error("single node must be a leaf")
+	}
+	// n < w: every node is a direct child and hence a leaf.
+	got := LeafSlots(3, 4)
+	for i, b := range got {
+		if !b {
+			t.Errorf("n<w: position %d not leaf", i)
+		}
+	}
+}
+
+func TestLeafSlotsKnownShape(t *testing.T) {
+	// n=6, w=2: groups [3,3]; heads at 0 and 3 interior, each head's
+	// remainder of 2 nodes < w... 2 >= w=2 so split again into [1,1]:
+	// positions 1,2 leaves and 4,5 leaves.
+	got := LeafSlots(6, 2)
+	want := []bool{false, true, true, false, true, true}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("LeafSlots(6,2) = %v, want %v", got, want)
+	}
+}
+
+func TestLeafSlotsWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("width 1 did not panic")
+		}
+	}()
+	LeafSlots(10, 1)
+}
+
+func TestBuildMatchesLeafSlots(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 16, 33, 100, 1000} {
+		for _, w := range []int{2, 4, 32} {
+			tr := Build(ints(n), w)
+			if tr.Size() != n {
+				t.Fatalf("n=%d w=%d: Size=%d", n, w, tr.Size())
+			}
+			slots := LeafSlots(n, w)
+			byVal := make(map[int]bool)
+			tr.Walk(func(v, _ int, leaf bool) { byVal[v] = leaf })
+			if len(byVal) != n {
+				t.Fatalf("n=%d w=%d: walk visited %d nodes", n, w, len(byVal))
+			}
+			for i := 0; i < n; i++ {
+				if byVal[i] != slots[i] {
+					t.Fatalf("n=%d w=%d: position %d leaf mismatch: tree=%v slots=%v",
+						n, w, i, byVal[i], slots[i])
+				}
+			}
+		}
+	}
+}
+
+func TestBuildValuesPreserveOrder(t *testing.T) {
+	tr := Build(ints(50), 4)
+	if !reflect.DeepEqual(tr.Values(), ints(50)) {
+		t.Error("Values() does not return participants in list order")
+	}
+}
+
+func TestBuildWidthRespected(t *testing.T) {
+	tr := Build(ints(500), 8)
+	if len(tr.Roots) > 8 {
+		t.Fatalf("root fan-out %d > width 8", len(tr.Roots))
+	}
+	tr.Walk(func(_ int, _ int, _ bool) {})
+	var check func(ns []*Node[int])
+	check = func(ns []*Node[int]) {
+		for _, n := range ns {
+			if len(n.Children) > 8 {
+				t.Fatalf("fan-out %d > width 8", len(n.Children))
+			}
+			check(n.Children)
+		}
+	}
+	check(tr.Roots)
+}
+
+func TestDepthGrowsLogarithmically(t *testing.T) {
+	d1 := Build(ints(32), 32).Depth()
+	if d1 != 1 {
+		t.Errorf("32 nodes width 32: depth = %d, want 1", d1)
+	}
+	d2 := Build(ints(1024), 32).Depth()
+	if d2 < 2 || d2 > 3 {
+		t.Errorf("1024 nodes width 32: depth = %d, want 2-3", d2)
+	}
+	d3 := Build(ints(20000), 32).Depth()
+	if d3 > 4 {
+		t.Errorf("20000 nodes width 32: depth = %d, want <= 4", d3)
+	}
+}
+
+func TestRearrangePlacesPredictedAtLeaves(t *testing.T) {
+	n, w := 200, 4
+	predicted := map[int]bool{3: true, 17: true, 42: true, 99: true, 150: true}
+	out := Rearrange(ints(n), func(v int) bool { return predicted[v] }, w)
+	slots := LeafSlots(n, w)
+	for i, v := range out {
+		if predicted[v] && !slots[i] {
+			t.Errorf("predicted node %d placed at interior position %d", v, i)
+		}
+	}
+}
+
+func TestRearrangeEmptyPredictionIsIdentity(t *testing.T) {
+	in := ints(137)
+	out := Rearrange(in, func(int) bool { return false }, 32)
+	if !reflect.DeepEqual(in, out) {
+		t.Error("rearrange with no predictions changed the list")
+	}
+}
+
+func TestRearrangeAllPredicted(t *testing.T) {
+	in := ints(64)
+	out := Rearrange(in, func(int) bool { return true }, 8)
+	if !reflect.DeepEqual(in, out) {
+		t.Error("rearrange with all-predicted must preserve order")
+	}
+}
+
+func TestRearrangeMorePredictedThanLeaves(t *testing.T) {
+	n, w := 100, 2 // few leaves relative to predictions
+	leaves := LeafCount(n, w)
+	pred := func(v int) bool { return v < leaves+10 }
+	out := Rearrange(ints(n), pred, w)
+	slots := LeafSlots(n, w)
+	// Every leaf slot must hold a predicted node when predictions overflow.
+	for i, v := range out {
+		if slots[i] && !pred(v) {
+			t.Errorf("leaf slot %d holds healthy node %d despite overflow of predictions", i, v)
+		}
+	}
+}
+
+func TestFineTuneSwapsMinimally(t *testing.T) {
+	n, w := 100, 4
+	list := ints(n)
+	predicted := map[int]bool{0: true} // position 0 is interior for n>w
+	swaps := FineTune(list, func(v int) bool { return predicted[v] }, w)
+	if swaps != 1 {
+		t.Fatalf("swaps = %d, want 1", swaps)
+	}
+	slots := LeafSlots(n, w)
+	for i, v := range list {
+		if predicted[v] && !slots[i] {
+			t.Error("predicted node still interior after FineTune")
+		}
+	}
+	// All but two positions untouched.
+	moved := 0
+	for i, v := range list {
+		if v != i {
+			moved++
+		}
+	}
+	if moved != 2 {
+		t.Errorf("FineTune moved %d nodes, want 2", moved)
+	}
+}
+
+func TestFineTuneNoOpWhenAlreadyPlaced(t *testing.T) {
+	n, w := 50, 4
+	list := ints(n)
+	slots := LeafSlots(n, w)
+	// Predict a node that is already at a leaf.
+	leafVal := -1
+	for i, s := range slots {
+		if s {
+			leafVal = list[i]
+			break
+		}
+	}
+	swaps := FineTune(list, func(v int) bool { return v == leafVal }, w)
+	if swaps != 0 {
+		t.Errorf("swaps = %d, want 0", swaps)
+	}
+}
+
+func TestDescendantCounts(t *testing.T) {
+	n, w := 100, 4
+	tr := Build(ints(n), w)
+	counts := DescendantCounts(tr)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	// Sum of descendant counts = sum over nodes of (depth below them) =
+	// total number of (ancestor, descendant) pairs; all n nodes minus the
+	// roots are someone's descendant, counted once per ancestor.
+	if counts[0] == 0 {
+		t.Error("first node should have descendants for n >> w")
+	}
+	slots := LeafSlots(n, w)
+	idx := 0
+	tr.Walk(func(_ int, _ int, leaf bool) {
+		if leaf != slots[idx] {
+			t.Error("walk order diverges from LeafSlots order")
+		}
+		if leaf && counts[idx] != 0 {
+			t.Errorf("leaf %d has descendant count %d", idx, counts[idx])
+		}
+		idx++
+	})
+	if total == 0 {
+		t.Error("descendant counts all zero")
+	}
+}
+
+// Property: Rearrange returns a permutation of its input.
+func TestPropertyRearrangeIsPermutation(t *testing.T) {
+	f := func(n uint8, w uint8, seed int64) bool {
+		size := int(n%200) + 1
+		width := int(w%30) + 2
+		rng := rand.New(rand.NewSource(seed))
+		pred := make(map[int]bool)
+		for i := 0; i < size; i++ {
+			if rng.Float64() < 0.2 {
+				pred[i] = true
+			}
+		}
+		out := Rearrange(ints(size), func(v int) bool { return pred[v] }, width)
+		if len(out) != size {
+			return false
+		}
+		seen := make(map[int]bool, size)
+		for _, v := range out {
+			if seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return len(seen) == size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: when |predicted| <= |leaf slots|, every predicted node ends at a
+// leaf (the paper's 81.7% placement figure is bounded by prediction recall,
+// not by the rearranger, which is exact).
+func TestPropertyRearrangeExactWhenFits(t *testing.T) {
+	f := func(n uint16, w uint8, seed int64) bool {
+		size := int(n%300) + 2
+		width := int(w%30) + 2
+		leaves := LeafCount(size, width)
+		rng := rand.New(rand.NewSource(seed))
+		pred := make(map[int]bool)
+		for len(pred) < leaves/2 {
+			pred[rng.Intn(size)] = true
+		}
+		out := Rearrange(ints(size), func(v int) bool { return pred[v] }, width)
+		slots := LeafSlots(size, width)
+		for i, v := range out {
+			if pred[v] && !slots[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: leaf count is at least half the nodes for any width >= 2
+// (every interior node "consumes" at most one head position per group).
+func TestPropertyLeafFractionBounded(t *testing.T) {
+	f := func(n uint16, w uint8) bool {
+		size := int(n%5000) + 1
+		width := int(w%60) + 2
+		lc := LeafCount(size, width)
+		return lc >= 1 && lc <= size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkLeafSlots20K(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		LeafSlots(20480, DefaultWidth)
+	}
+}
+
+func BenchmarkRearrange20K(b *testing.B) {
+	list := ints(20480)
+	pred := func(v int) bool { return v%50 == 0 } // 2% failure, paper's regime
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Rearrange(list, pred, DefaultWidth)
+	}
+}
+
+func BenchmarkBuild20K(b *testing.B) {
+	list := ints(20480)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(list, DefaultWidth)
+	}
+}

@@ -1,0 +1,39 @@
+package hostlist
+
+import "testing"
+
+// FuzzExpand checks that arbitrary expressions never panic and that any
+// successfully expanded expression re-compresses to an expression that
+// expands to the same host multiset size.
+func FuzzExpand(f *testing.F) {
+	for _, seed := range []string{
+		"cn[1-3]", "cn[001-100]", "a,b,c", "gpu[01-02]-ib",
+		"x[1,3,5-9]", "cn[", "cn]", "cn[]", "", ",", "cn[9-1]",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, expr string) {
+		hosts, err := Expand(expr)
+		if err != nil {
+			return
+		}
+		// Count must agree with the expansion.
+		n, err := Count(expr)
+		if err != nil {
+			t.Fatalf("Expand ok but Count failed: %v", err)
+		}
+		if n != len(hosts) {
+			t.Fatalf("Count=%d len(Expand)=%d for %q", n, len(hosts), expr)
+		}
+		// Compression of the result must be re-expandable.
+		if len(hosts) > 0 && len(hosts) < 10000 {
+			back, err := Expand(Compress(hosts))
+			if err != nil {
+				t.Fatalf("Compress produced unparseable %q: %v", Compress(hosts), err)
+			}
+			if len(back) > len(hosts) {
+				t.Fatalf("round trip grew: %d -> %d", len(hosts), len(back))
+			}
+		}
+	})
+}

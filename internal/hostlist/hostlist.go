@@ -1,0 +1,291 @@
+// Package hostlist implements Slurm-style hostlist expressions — the
+// compact node-set notation used throughout HPC resource managers and in
+// ESlurm's configuration files ("cn[0001-1024,2048]"). It supports
+// expansion, compression, set arithmetic and iteration without
+// materializing huge node lists.
+//
+// Grammar (informal):
+//
+//	list    := expr ("," expr)*
+//	expr    := prefix [ "[" ranges "]" ] | bare
+//	ranges  := range ("," range)*
+//	range   := number [ "-" number ]
+//
+// Numbers keep their zero-padding: "cn[001-003]" expands to cn001, cn002,
+// cn003.
+package hostlist
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Expand parses a hostlist expression and returns the full host slice in
+// expression order.
+func Expand(expr string) ([]string, error) {
+	var out []string
+	err := Each(expr, func(h string) bool {
+		out = append(out, h)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Count returns the number of hosts an expression denotes without
+// materializing them.
+func Count(expr string) (int, error) {
+	n := 0
+	parts, err := split(expr)
+	if err != nil {
+		return 0, err
+	}
+	for _, p := range parts {
+		if p.ranges == nil {
+			n++
+			continue
+		}
+		for _, r := range p.ranges {
+			n += r.hi - r.lo + 1
+		}
+	}
+	return n, nil
+}
+
+// Each invokes fn for every host in expression order; fn returning false
+// stops the iteration early.
+func Each(expr string, fn func(host string) bool) error {
+	parts, err := split(expr)
+	if err != nil {
+		return err
+	}
+	for _, p := range parts {
+		if p.ranges == nil {
+			if !fn(p.prefix) {
+				return nil
+			}
+			continue
+		}
+		for _, r := range p.ranges {
+			for v := r.lo; v <= r.hi; v++ {
+				if !fn(p.prefix + pad(v, r.width) + p.suffix) {
+					return nil
+				}
+			}
+		}
+	}
+	return nil
+}
+
+type numRange struct {
+	lo, hi int
+	width  int // zero-padding width; 0 means no padding
+}
+
+type part struct {
+	prefix string
+	suffix string
+	ranges []numRange // nil for a bare hostname
+}
+
+// split tokenizes an expression into parts, being careful that commas
+// inside brackets separate ranges, not parts.
+func split(expr string) ([]part, error) {
+	var parts []part
+	depth := 0
+	start := 0
+	flush := func(end int) error {
+		tok := strings.TrimSpace(expr[start:end])
+		if tok == "" {
+			return nil
+		}
+		p, err := parsePart(tok)
+		if err != nil {
+			return err
+		}
+		parts = append(parts, p)
+		return nil
+	}
+	for i, ch := range expr {
+		switch ch {
+		case '[':
+			depth++
+		case ']':
+			depth--
+			if depth < 0 {
+				return nil, fmt.Errorf("hostlist: unbalanced ']' in %q", expr)
+			}
+		case ',':
+			if depth == 0 {
+				if err := flush(i); err != nil {
+					return nil, err
+				}
+				start = i + 1
+			}
+		}
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("hostlist: unbalanced '[' in %q", expr)
+	}
+	if err := flush(len(expr)); err != nil {
+		return nil, err
+	}
+	return parts, nil
+}
+
+func parsePart(tok string) (part, error) {
+	open := strings.IndexByte(tok, '[')
+	if open < 0 {
+		if strings.ContainsAny(tok, "]") {
+			return part{}, fmt.Errorf("hostlist: stray ']' in %q", tok)
+		}
+		return part{prefix: tok}, nil
+	}
+	close := strings.IndexByte(tok, ']')
+	if close < open {
+		return part{}, fmt.Errorf("hostlist: malformed brackets in %q", tok)
+	}
+	p := part{prefix: tok[:open], suffix: tok[close+1:]}
+	if strings.ContainsAny(p.suffix, "[]") {
+		return part{}, fmt.Errorf("hostlist: nested brackets in %q", tok)
+	}
+	body := tok[open+1 : close]
+	if body == "" {
+		return part{}, fmt.Errorf("hostlist: empty range in %q", tok)
+	}
+	for _, rs := range strings.Split(body, ",") {
+		r, err := parseRange(strings.TrimSpace(rs))
+		if err != nil {
+			return part{}, fmt.Errorf("hostlist: %v in %q", err, tok)
+		}
+		p.ranges = append(p.ranges, r)
+	}
+	return p, nil
+}
+
+func parseRange(rs string) (numRange, error) {
+	lo, hi := rs, rs
+	if i := strings.IndexByte(rs, '-'); i >= 0 {
+		lo, hi = rs[:i], rs[i+1:]
+	}
+	lv, err := strconv.Atoi(lo)
+	if err != nil {
+		return numRange{}, fmt.Errorf("bad number %q", lo)
+	}
+	hv, err := strconv.Atoi(hi)
+	if err != nil {
+		return numRange{}, fmt.Errorf("bad number %q", hi)
+	}
+	if hv < lv {
+		return numRange{}, fmt.Errorf("descending range %q", rs)
+	}
+	width := 0
+	if len(lo) > 1 && lo[0] == '0' {
+		width = len(lo)
+	}
+	return numRange{lo: lv, hi: hv, width: width}, nil
+}
+
+func pad(v, width int) string {
+	s := strconv.Itoa(v)
+	for len(s) < width {
+		s = "0" + s
+	}
+	return s
+}
+
+// Compress renders a host slice as a compact hostlist expression, merging
+// consecutive numbers under shared prefixes. The input order is not
+// preserved; hosts are grouped per prefix and sorted numerically.
+func Compress(hosts []string) string {
+	type key struct {
+		prefix, suffix string
+		width          int
+	}
+	groups := make(map[key][]int)
+	var bare []string
+	order := []key{}
+	seenKey := map[key]bool{}
+	for _, h := range hosts {
+		prefix, num, suffix, width, ok := splitNumeric(h)
+		if !ok {
+			bare = append(bare, h)
+			continue
+		}
+		k := key{prefix, suffix, width}
+		if !seenKey[k] {
+			seenKey[k] = true
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], num)
+	}
+	var out []string
+	out = append(out, bare...)
+	for _, k := range order {
+		nums := groups[k]
+		sort.Ints(nums)
+		nums = dedupInts(nums)
+		var ranges []string
+		for i := 0; i < len(nums); {
+			j := i
+			for j+1 < len(nums) && nums[j+1] == nums[j]+1 {
+				j++
+			}
+			if i == j {
+				ranges = append(ranges, pad(nums[i], k.width))
+			} else {
+				ranges = append(ranges, pad(nums[i], k.width)+"-"+pad(nums[j], k.width))
+			}
+			i = j + 1
+		}
+		if len(ranges) == 1 && !strings.Contains(ranges[0], "-") {
+			out = append(out, k.prefix+ranges[0]+k.suffix)
+			continue
+		}
+		out = append(out, k.prefix+"["+strings.Join(ranges, ",")+"]"+k.suffix)
+	}
+	return strings.Join(out, ",")
+}
+
+func dedupInts(xs []int) []int {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// splitNumeric decomposes "cn012-ib" into ("cn", 12, "-ib", width 3).
+// The trailing numeric run before the suffix is used.
+func splitNumeric(h string) (prefix string, num int, suffix string, width int, ok bool) {
+	// Find the last digit run.
+	end := -1
+	for i := len(h) - 1; i >= 0; i-- {
+		if h[i] >= '0' && h[i] <= '9' {
+			end = i
+			break
+		}
+	}
+	if end < 0 {
+		return "", 0, "", 0, false
+	}
+	start := end
+	for start > 0 && h[start-1] >= '0' && h[start-1] <= '9' {
+		start--
+	}
+	n, err := strconv.Atoi(h[start : end+1])
+	if err != nil {
+		return "", 0, "", 0, false
+	}
+	w := 0
+	if end-start+1 > 1 && h[start] == '0' {
+		w = end - start + 1
+	}
+	return h[:start], n, h[end+1:], w, true
+}

@@ -1,0 +1,189 @@
+package hostlist
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestExpandSimple(t *testing.T) {
+	got, err := Expand("cn[1-3]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"cn1", "cn2", "cn3"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestExpandZeroPadding(t *testing.T) {
+	got, err := Expand("cn[008-011]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"cn008", "cn009", "cn010", "cn011"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestExpandMixedList(t *testing.T) {
+	got, err := Expand("login1,cn[1-2,5],gpu[01-02]-ib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"login1", "cn1", "cn2", "cn5", "gpu01-ib", "gpu02-ib"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestExpandSingletonRange(t *testing.T) {
+	got, err := Expand("cn[7]")
+	if err != nil || len(got) != 1 || got[0] != "cn7" {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestExpandErrors(t *testing.T) {
+	for _, expr := range []string{
+		"cn[3-1]",  // descending
+		"cn[1-",    // unbalanced
+		"cn]1[",    // stray
+		"cn[]",     // empty
+		"cn[a-b]",  // non-numeric
+		"cn[1][2]", // nested/multiple brackets
+	} {
+		if _, err := Expand(expr); err == nil {
+			t.Errorf("Expand(%q) did not fail", expr)
+		}
+	}
+}
+
+func TestCount(t *testing.T) {
+	n, err := Count("cn[0001-1024,2048],login[1-2],mgmt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1024+1+2+1 {
+		t.Fatalf("Count = %d, want 1028", n)
+	}
+}
+
+func TestEachEarlyStop(t *testing.T) {
+	n := 0
+	Each("cn[1-100]", func(string) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Fatalf("iterated %d, want 5", n)
+	}
+}
+
+func TestCompressBasic(t *testing.T) {
+	got := Compress([]string{"cn1", "cn2", "cn3", "cn5"})
+	if got != "cn[1-3,5]" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestCompressPadding(t *testing.T) {
+	got := Compress([]string{"cn008", "cn009", "cn010"})
+	if got != "cn[008-010]" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestCompressSingleHost(t *testing.T) {
+	if got := Compress([]string{"cn42"}); got != "cn42" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestCompressBareAndSuffix(t *testing.T) {
+	got := Compress([]string{"mgmt", "gpu01-ib", "gpu02-ib"})
+	if got != "mgmt,gpu[01-02]-ib" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestCompressDeduplicates(t *testing.T) {
+	if got := Compress([]string{"cn1", "cn1", "cn2"}); got != "cn[1-2]" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+// Property: Expand(Compress(hosts)) returns the same host set.
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		set := map[string]bool{}
+		var hosts []string
+		for i := 0; i < n; i++ {
+			h := "cn" + pad(rng.Intn(500), 4)
+			if !set[h] {
+				set[h] = true
+				hosts = append(hosts, h)
+			}
+		}
+		expr := Compress(hosts)
+		back, err := Expand(expr)
+		if err != nil {
+			return false
+		}
+		if len(back) != len(hosts) {
+			return false
+		}
+		for _, h := range back {
+			if !set[h] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Count agrees with len(Expand).
+func TestPropertyCountMatchesExpand(t *testing.T) {
+	f := func(lo8, n8 uint8) bool {
+		lo := int(lo8)
+		hi := lo + int(n8%50)
+		expr := Compress([]string{"x" + pad(lo, 3)})
+		_ = expr
+		e := "nd[" + pad(lo, 3) + "-" + pad(hi, 3) + "]"
+		c, err := Count(e)
+		if err != nil {
+			return false
+		}
+		xs, err := Expand(e)
+		return err == nil && c == len(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkExpand20K(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Expand("cn[00001-20480]"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompress20K(b *testing.B) {
+	hosts, _ := Expand("cn[00001-20480]")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compress(hosts)
+	}
+}

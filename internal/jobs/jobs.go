@@ -1,0 +1,363 @@
+// Package jobs implements the master's job table: the job lifecycle state
+// machine, the registry the scheduler draws from, and the multifactor
+// priority with fair-share accounting. ESlurm deliberately "preserves the
+// master node's global view of resources and jobs as well as the original
+// efficient resource allocation and job scheduling logic" (Section II-C);
+// this package is that retained Slurm-derived logic.
+package jobs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// ID identifies a job within one registry.
+type ID uint64
+
+// State is a job's lifecycle state, following the slurmctld model.
+type State int
+
+const (
+	// Pending: queued, waiting for resources.
+	Pending State = iota
+	// Configuring: resources allocated, launch broadcast in flight.
+	Configuring
+	// Running: processes spawned on all nodes.
+	Running
+	// Completing: termination broadcast in flight, reclaiming resources.
+	Completing
+	// Completed: finished successfully.
+	Completed
+	// Failed: exited with an error.
+	Failed
+	// Timeout: killed at its walltime limit.
+	Timeout
+	// Cancelled: removed by the user or administrator.
+	Cancelled
+)
+
+func (s State) String() string {
+	switch s {
+	case Pending:
+		return "PENDING"
+	case Configuring:
+		return "CONFIGURING"
+	case Running:
+		return "RUNNING"
+	case Completing:
+		return "COMPLETING"
+	case Completed:
+		return "COMPLETED"
+	case Failed:
+		return "FAILED"
+	case Timeout:
+		return "TIMEOUT"
+	case Cancelled:
+		return "CANCELLED"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	switch s {
+	case Completed, Failed, Timeout, Cancelled:
+		return true
+	}
+	return false
+}
+
+// validNext enumerates the legal transitions.
+var validNext = map[State][]State{
+	Pending:     {Configuring, Cancelled},
+	Configuring: {Running, Failed, Cancelled},
+	Running:     {Completing, Failed, Timeout, Cancelled},
+	Completing:  {Completed, Failed},
+}
+
+// Job is one job record.
+type Job struct {
+	ID        ID
+	Name      string
+	User      string
+	Partition string
+	Nodes     int
+	Cores     int
+	TimeLimit time.Duration
+
+	SubmitAt time.Duration
+	StartAt  time.Duration
+	EndAt    time.Duration
+
+	state    State
+	priority float64
+}
+
+// State returns the current lifecycle state.
+func (j *Job) State() State { return j.state }
+
+// Priority returns the last computed multifactor priority.
+func (j *Job) Priority() float64 { return j.priority }
+
+// ErrBadTransition reports an illegal state change.
+type ErrBadTransition struct {
+	Job  ID
+	From State
+	To   State
+}
+
+func (e *ErrBadTransition) Error() string {
+	return fmt.Sprintf("jobs: job %d cannot go %v -> %v", e.Job, e.From, e.To)
+}
+
+// Registry is the master's job table.
+type Registry struct {
+	nextID ID
+	live   map[ID]*Job
+	// done keeps a bounded history of terminal jobs (the "historical job
+	// queue" the estimation framework trains on).
+	done    []*Job
+	doneCap int
+	counts  map[State]int
+
+	prio PriorityConfig
+	fs   *Fairshare
+}
+
+// NewRegistry builds an empty registry keeping up to historyCap terminal
+// jobs (0 defaults to 10,000).
+func NewRegistry(prio PriorityConfig, historyCap int) *Registry {
+	if historyCap <= 0 {
+		historyCap = 10000
+	}
+	return &Registry{
+		nextID:  1,
+		live:    make(map[ID]*Job),
+		doneCap: historyCap,
+		counts:  make(map[State]int),
+		prio:    prio.withDefaults(),
+		fs:      NewFairshare(prio.withDefaults().UsageHalfLife),
+	}
+}
+
+// Submit registers a new pending job and returns it.
+func (r *Registry) Submit(name, user, partition string, nodes, cores int, limit, now time.Duration) *Job {
+	j := &Job{
+		ID: r.nextID, Name: name, User: user, Partition: partition,
+		Nodes: nodes, Cores: cores, TimeLimit: limit,
+		SubmitAt: now, state: Pending,
+	}
+	r.nextID++
+	r.live[j.ID] = j
+	r.counts[Pending]++
+	return j
+}
+
+// Get returns a live or historical job by ID (nil if unknown/evicted).
+func (r *Registry) Get(id ID) *Job {
+	if j, ok := r.live[id]; ok {
+		return j
+	}
+	for _, j := range r.done {
+		if j.ID == id {
+			return j
+		}
+	}
+	return nil
+}
+
+// Transition moves a job to a new state at virtual time now, enforcing
+// the lifecycle and maintaining counters, timestamps, history and
+// fair-share usage.
+func (r *Registry) Transition(j *Job, to State, now time.Duration) error {
+	ok := false
+	for _, n := range validNext[j.state] {
+		if n == to {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		return &ErrBadTransition{Job: j.ID, From: j.state, To: to}
+	}
+	r.counts[j.state]--
+	r.counts[to]++
+	switch to {
+	case Running:
+		j.StartAt = now
+	case Completed, Failed, Timeout, Cancelled:
+		j.EndAt = now
+		if j.StartAt > 0 || j.state == Completing || j.state == Running {
+			// Charge fair-share usage for the time actually held.
+			held := now - j.StartAt
+			if held > 0 {
+				r.fs.Charge(j.User, float64(j.Nodes)*held.Seconds(), now)
+			}
+		}
+	}
+	j.state = to
+	if to.Terminal() {
+		delete(r.live, j.ID)
+		r.done = append(r.done, j)
+		if len(r.done) > r.doneCap {
+			r.done = append(r.done[:0], r.done[len(r.done)-r.doneCap:]...)
+		}
+	}
+	return nil
+}
+
+// Counts returns the number of jobs per state (terminal states count the
+// retained history only).
+func (r *Registry) Counts() map[State]int {
+	out := make(map[State]int, len(r.counts))
+	for s, c := range r.counts {
+		if c != 0 {
+			out[s] = c
+		}
+	}
+	return out
+}
+
+// History returns the retained terminal jobs, oldest first.
+func (r *Registry) History() []*Job { return r.done }
+
+// Fairshare exposes the registry's fair-share ledger (for administrative
+// adjustment and tests).
+func (r *Registry) Fairshare() *Fairshare { return r.fs }
+
+// Pending returns the pending jobs ordered by descending multifactor
+// priority (ties by submit time, then ID), recomputing priorities at now.
+func (r *Registry) Pending(now time.Duration) []*Job {
+	var out []*Job
+	for _, j := range r.live {
+		if j.state == Pending {
+			j.priority = r.prio.Score(j, r.fs, now)
+			out = append(out, j)
+		}
+	}
+	sort.Slice(out, func(i, k int) bool {
+		a, b := out[i], out[k]
+		if a.priority != b.priority {
+			return a.priority > b.priority
+		}
+		if a.SubmitAt != b.SubmitAt {
+			return a.SubmitAt < b.SubmitAt
+		}
+		return a.ID < b.ID
+	})
+	return out
+}
+
+// PriorityConfig weights the multifactor priority, mirroring Slurm's
+// priority/multifactor plugin: age, fair-share and job-size factors.
+type PriorityConfig struct {
+	// AgeWeight scales the age factor (queue wait / MaxAge, capped at 1).
+	AgeWeight float64
+	// FairshareWeight scales the fair-share factor 2^(−usage/shares).
+	FairshareWeight float64
+	// SizeWeight scales the job-size factor (favoring large jobs, as
+	// Slurm's default does to fight large-job starvation).
+	SizeWeight float64
+	// MaxAge saturates the age factor.
+	MaxAge time.Duration
+	// MaxNodes normalizes the size factor.
+	MaxNodes int
+	// UsageHalfLife is the fair-share usage decay half-life.
+	UsageHalfLife time.Duration
+}
+
+func (c PriorityConfig) withDefaults() PriorityConfig {
+	if c.AgeWeight == 0 {
+		c.AgeWeight = 1000
+	}
+	if c.FairshareWeight == 0 {
+		c.FairshareWeight = 2000
+	}
+	if c.SizeWeight == 0 {
+		c.SizeWeight = 500
+	}
+	if c.MaxAge == 0 {
+		c.MaxAge = 7 * 24 * time.Hour
+	}
+	if c.MaxNodes == 0 {
+		c.MaxNodes = 20480
+	}
+	if c.UsageHalfLife == 0 {
+		c.UsageHalfLife = 7 * 24 * time.Hour
+	}
+	return c
+}
+
+// Score computes a job's multifactor priority at time now.
+func (c PriorityConfig) Score(j *Job, fs *Fairshare, now time.Duration) float64 {
+	age := float64(now-j.SubmitAt) / float64(c.MaxAge)
+	if age > 1 {
+		age = 1
+	}
+	if age < 0 {
+		age = 0
+	}
+	size := float64(j.Nodes) / float64(c.MaxNodes)
+	if size > 1 {
+		size = 1
+	}
+	return c.AgeWeight*age + c.FairshareWeight*fs.Factor(j.User, now) + c.SizeWeight*size
+}
+
+// Fairshare tracks per-user decayed usage (node-seconds) and converts it
+// to the classic 2^(−usage/shares) factor.
+type Fairshare struct {
+	halfLife time.Duration
+	usage    map[string]float64
+	lastAt   map[string]time.Duration
+	// SharesPerUser is each user's normalized share; the factor halves
+	// each time decayed usage grows by this many node-seconds.
+	SharesPerUser float64
+}
+
+// NewFairshare builds an empty fair-share ledger.
+func NewFairshare(halfLife time.Duration) *Fairshare {
+	if halfLife <= 0 {
+		halfLife = 7 * 24 * time.Hour
+	}
+	return &Fairshare{
+		halfLife:      halfLife,
+		usage:         make(map[string]float64),
+		lastAt:        make(map[string]time.Duration),
+		SharesPerUser: 3600 * 1000, // 1000 node-hours halves the factor
+	}
+}
+
+// decayTo brings a user's usage up to date.
+func (f *Fairshare) decayTo(user string, now time.Duration) {
+	last, ok := f.lastAt[user]
+	if !ok || now <= last {
+		f.lastAt[user] = now
+		return
+	}
+	dt := float64(now-last) / float64(f.halfLife)
+	f.usage[user] *= math.Pow(0.5, dt)
+	f.lastAt[user] = now
+}
+
+// Charge adds node-seconds of usage for a user at time now.
+func (f *Fairshare) Charge(user string, nodeSeconds float64, now time.Duration) {
+	f.decayTo(user, now)
+	f.usage[user] += nodeSeconds
+}
+
+// Usage returns the decayed usage at now.
+func (f *Fairshare) Usage(user string, now time.Duration) float64 {
+	f.decayTo(user, now)
+	return f.usage[user]
+}
+
+// Factor returns 2^(−usage/shares) in (0, 1]: 1 for an unused account,
+// halving per SharesPerUser of decayed consumption.
+func (f *Fairshare) Factor(user string, now time.Duration) float64 {
+	f.decayTo(user, now)
+	return math.Pow(2, -f.usage[user]/f.SharesPerUser)
+}

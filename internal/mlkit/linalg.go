@@ -1,0 +1,271 @@
+// Package mlkit provides the from-scratch machine-learning primitives the
+// runtime-estimation framework (Section V) and its baselines (Fig. 11b)
+// are built on: K-means++ clustering with elbow-method model selection,
+// ε-insensitive support-vector regression, CART regression trees and
+// random forests, Bayesian ridge regression, and Tobit (censored)
+// regression. Everything is stdlib-only and deterministic given a seeded
+// *rand.Rand.
+package mlkit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a linear system has no unique solution.
+var ErrSingular = errors.New("mlkit: singular matrix")
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Add increments element (i, j).
+func (m *Matrix) Add(i, j int, v float64) { m.Data[i*m.Cols+j] += v }
+
+// MulVec returns m · v.
+func (m *Matrix) MulVec(v []float64) []float64 {
+	if len(v) != m.Cols {
+		panic(fmt.Sprintf("mlkit: MulVec dimension mismatch %d vs %d", len(v), m.Cols))
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		s := 0.0
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, x := range v {
+			s += row[j] * x
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Gram returns XᵀX for a row-major design matrix X.
+func Gram(x *Matrix) *Matrix {
+	g := NewMatrix(x.Cols, x.Cols)
+	for i := 0; i < x.Rows; i++ {
+		row := x.Data[i*x.Cols : (i+1)*x.Cols]
+		for a := 0; a < x.Cols; a++ {
+			if row[a] == 0 {
+				continue
+			}
+			for b := 0; b < x.Cols; b++ {
+				g.Data[a*x.Cols+b] += row[a] * row[b]
+			}
+		}
+	}
+	return g
+}
+
+// MulTVec returns Xᵀ · v for a row-major design matrix X.
+func MulTVec(x *Matrix, v []float64) []float64 {
+	if len(v) != x.Rows {
+		panic("mlkit: MulTVec dimension mismatch")
+	}
+	out := make([]float64, x.Cols)
+	for i := 0; i < x.Rows; i++ {
+		row := x.Data[i*x.Cols : (i+1)*x.Cols]
+		for j := range out {
+			out[j] += row[j] * v[i]
+		}
+	}
+	return out
+}
+
+// Solve solves A·x = b by Gaussian elimination with partial pivoting,
+// destroying neither input. A must be square.
+func Solve(a *Matrix, b []float64) ([]float64, error) {
+	n := a.Rows
+	if a.Cols != n || len(b) != n {
+		panic("mlkit: Solve requires square A and matching b")
+	}
+	// Working copies.
+	m := make([]float64, len(a.Data))
+	copy(m, a.Data)
+	x := make([]float64, n)
+	copy(x, b)
+
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		best := math.Abs(m[col*n+col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(m[r*n+col]); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-12 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			for j := 0; j < n; j++ {
+				m[col*n+j], m[pivot*n+j] = m[pivot*n+j], m[col*n+j]
+			}
+			x[col], x[pivot] = x[pivot], x[col]
+		}
+		inv := 1.0 / m[col*n+col]
+		for r := col + 1; r < n; r++ {
+			f := m[r*n+col] * inv
+			if f == 0 {
+				continue
+			}
+			for j := col; j < n; j++ {
+				m[r*n+j] -= f * m[col*n+j]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= m[i*n+j] * x[j]
+		}
+		x[i] = s / m[i*n+i]
+	}
+	return x, nil
+}
+
+// Inverse returns A⁻¹ via column-wise solves. Intended for the small
+// (p ≤ ~16) systems in Bayesian ridge; not for large matrices.
+func Inverse(a *Matrix) (*Matrix, error) {
+	n := a.Rows
+	inv := NewMatrix(n, n)
+	e := make([]float64, n)
+	for c := 0; c < n; c++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[c] = 1
+		col, err := Solve(a, e)
+		if err != nil {
+			return nil, err
+		}
+		for r := 0; r < n; r++ {
+			inv.Set(r, c, col[r])
+		}
+	}
+	return inv, nil
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("mlkit: Dot length mismatch")
+	}
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// SqDist returns the squared Euclidean distance between two vectors.
+func SqDist(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("mlkit: SqDist length mismatch")
+	}
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	mu := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - mu
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StandardScaler standardizes features to zero mean and unit variance,
+// column-wise. Constant columns scale to zero rather than dividing by
+// zero.
+type StandardScaler struct {
+	Means, Stds []float64
+}
+
+// FitScaler learns column statistics from row-major samples.
+func FitScaler(samples [][]float64) *StandardScaler {
+	if len(samples) == 0 {
+		return &StandardScaler{}
+	}
+	p := len(samples[0])
+	s := &StandardScaler{Means: make([]float64, p), Stds: make([]float64, p)}
+	for _, row := range samples {
+		for j, v := range row {
+			s.Means[j] += v
+		}
+	}
+	n := float64(len(samples))
+	for j := range s.Means {
+		s.Means[j] /= n
+	}
+	for _, row := range samples {
+		for j, v := range row {
+			d := v - s.Means[j]
+			s.Stds[j] += d * d
+		}
+	}
+	for j := range s.Stds {
+		s.Stds[j] = math.Sqrt(s.Stds[j] / n)
+	}
+	return s
+}
+
+// Transform standardizes one sample, returning a new slice.
+func (s *StandardScaler) Transform(row []float64) []float64 {
+	if len(s.Means) == 0 {
+		return append([]float64(nil), row...)
+	}
+	out := make([]float64, len(row))
+	for j, v := range row {
+		if s.Stds[j] > 1e-12 {
+			out[j] = (v - s.Means[j]) / s.Stds[j]
+		}
+	}
+	return out
+}
+
+// TransformAll standardizes a batch of samples.
+func (s *StandardScaler) TransformAll(rows [][]float64) [][]float64 {
+	out := make([][]float64, len(rows))
+	for i, r := range rows {
+		out[i] = s.Transform(r)
+	}
+	return out
+}

@@ -1,0 +1,205 @@
+package mlkit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSolveKnownSystem(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 3)
+	x, err := Solve(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x[0], 1, 1e-9) || !almostEq(x[1], 3, 1e-9) {
+		t.Fatalf("x = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveNeedsPivoting(t *testing.T) {
+	// Leading zero forces a row swap.
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 0)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 0)
+	x, err := Solve(a, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x[0], 3, 1e-9) || !almostEq(x[1], 2, 1e-9) {
+		t.Fatalf("x = %v, want [3 2]", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 4)
+	if _, err := Solve(a, []float64{1, 2}); err != ErrSingular {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveDoesNotDestroyInputs(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 4)
+	a.Set(1, 1, 4)
+	b := []float64{8, 8}
+	Solve(a, b)
+	if a.At(0, 0) != 4 || b[0] != 8 {
+		t.Error("Solve mutated its inputs")
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 5
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, rng.NormFloat64())
+		}
+		a.Add(i, i, float64(n)) // diagonally dominant => invertible
+	}
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A · A⁻¹ ≈ I.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += a.At(i, k) * inv.At(k, j)
+			}
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if !almostEq(s, want, 1e-8) {
+				t.Fatalf("(A·A⁻¹)[%d][%d] = %v", i, j, s)
+			}
+		}
+	}
+}
+
+func TestGramAndMulTVec(t *testing.T) {
+	x := NewMatrix(3, 2)
+	vals := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+	for i, r := range vals {
+		for j, v := range r {
+			x.Set(i, j, v)
+		}
+	}
+	g := Gram(x)
+	// XᵀX = [[35, 44], [44, 56]].
+	if g.At(0, 0) != 35 || g.At(0, 1) != 44 || g.At(1, 1) != 56 {
+		t.Fatalf("Gram = %v", g.Data)
+	}
+	v := MulTVec(x, []float64{1, 1, 1})
+	if v[0] != 9 || v[1] != 12 {
+		t.Fatalf("MulTVec = %v", v)
+	}
+}
+
+func TestMulVecPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on dimension mismatch")
+		}
+	}()
+	NewMatrix(2, 2).MulVec([]float64{1})
+}
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if Mean(xs) != 5 {
+		t.Errorf("Mean = %v", Mean(xs))
+	}
+	if Variance(xs) != 4 {
+		t.Errorf("Variance = %v", Variance(xs))
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 {
+		t.Error("empty input must give 0")
+	}
+}
+
+func TestDotSqDist(t *testing.T) {
+	if Dot([]float64{1, 2}, []float64{3, 4}) != 11 {
+		t.Error("Dot wrong")
+	}
+	if SqDist([]float64{0, 0}, []float64{3, 4}) != 25 {
+		t.Error("SqDist wrong")
+	}
+}
+
+func TestStandardScaler(t *testing.T) {
+	samples := [][]float64{{1, 10, 5}, {3, 10, 7}, {5, 10, 9}}
+	s := FitScaler(samples)
+	out := s.TransformAll(samples)
+	// Column 0: mean 3, each standardized value symmetric around 0.
+	if !almostEq(out[0][0], -out[2][0], 1e-12) || !almostEq(out[1][0], 0, 1e-12) {
+		t.Errorf("column 0 standardization wrong: %v", out)
+	}
+	// Constant column maps to zero, not NaN.
+	for _, r := range out {
+		if r[1] != 0 {
+			t.Errorf("constant column produced %v", r[1])
+		}
+		if math.IsNaN(r[0]) || math.IsNaN(r[2]) {
+			t.Error("NaN in scaled output")
+		}
+	}
+}
+
+func TestScalerEmptyFit(t *testing.T) {
+	s := FitScaler(nil)
+	got := s.Transform([]float64{1, 2})
+	if got[0] != 1 || got[1] != 2 {
+		t.Error("empty-fit scaler must pass values through")
+	}
+}
+
+// Property: Solve(A, A·x) ≈ x for well-conditioned A.
+func TestPropertySolveRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+			a.Add(i, i, float64(2*n))
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		b := a.MulVec(x)
+		got, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if !almostEq(got[i], x[i], 1e-6) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

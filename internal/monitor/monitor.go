@@ -1,0 +1,261 @@
+// Package monitor simulates the three-layer monitoring and diagnostic
+// subsystem of the Tianhe HPC systems described in Section IV-C: Board
+// Management Units (BMU), Chassis Management Units (CMU) and a System
+// Management Unit (SMU), connected by a dedicated monitoring network,
+// sampling 200+ hardware indicators (voltage, current, temperature,
+// humidity, liquid/air cooling, NIC health, ...).
+//
+// The failure-prediction plugin (package predict) consumes only this
+// package's alert stream, exactly as ESlurm consumes alerts from the real
+// monitoring network — so any alert source with comparable precision
+// exercises the same code path (see DESIGN.md, "Substitutions").
+package monitor
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"eslurm/internal/cluster"
+	"eslurm/internal/simnet"
+)
+
+// Severity classifies an alert.
+type Severity int
+
+const (
+	// SevWarning indicates an indicator drifting out of its nominal band.
+	SevWarning Severity = iota
+	// SevCritical indicates an indicator past its critical threshold; the
+	// node is expected to fail soon.
+	SevCritical
+	// SevFailure indicates the node has already failed (post-hoc report).
+	SevFailure
+)
+
+func (s Severity) String() string {
+	switch s {
+	case SevWarning:
+		return "warning"
+	case SevCritical:
+		return "critical"
+	case SevFailure:
+		return "failure"
+	default:
+		return fmt.Sprintf("Severity(%d)", int(s))
+	}
+}
+
+// Indicators is the catalogue of monitored hardware indicators. The real
+// subsystem tracks 200+; we name the families and synthesize the rest.
+var Indicators = buildIndicators()
+
+func buildIndicators() []string {
+	families := []string{
+		"voltage", "current", "temperature", "humidity",
+		"liquid-cooling", "air-cooling", "nic", "memory", "power-supply", "fan",
+	}
+	var out []string
+	for _, f := range families {
+		for i := 0; i < 21; i++ {
+			out = append(out, fmt.Sprintf("%s.%02d", f, i))
+		}
+	}
+	return out // 210 indicators
+}
+
+// Alert is one monitoring event delivered to subscribers at the SMU.
+type Alert struct {
+	Node      cluster.NodeID
+	Indicator string
+	Severity  Severity
+	// BMU/CMU identify the management units that observed and relayed the
+	// alert.
+	BMU, CMU int
+	At       time.Duration
+}
+
+// Config parameterizes the monitoring subsystem.
+type Config struct {
+	// NodesPerBMU and BMUsPerCMU define the management hierarchy
+	// (defaults: 8 nodes per board, 16 boards per chassis).
+	NodesPerBMU int
+	BMUsPerCMU  int
+	// DetectionProb is the probability an impending failure produces a
+	// pre-failure alert (predictor recall ceiling). Default 0.85 — the
+	// paper reports 81.7% of failed nodes ending at leaves, which our
+	// placement-exact rearranger maps directly to prediction recall.
+	DetectionProb float64
+	// LeadTime is the mean interval by which a pre-failure alert precedes
+	// the failure. Default 10 minutes.
+	LeadTime time.Duration
+	// FalseAlertsPerNodeDay is the Poisson rate of spurious alerts per
+	// node per day. The paper adopts "the principle of over-prediction":
+	// false alerts only cost a leaf placement, never correctness.
+	FalseAlertsPerNodeDay float64
+	// RelayLatency is the per-hop latency of the dedicated monitoring
+	// network (BMU→CMU→SMU).
+	RelayLatency time.Duration
+	// RepeatInterval is how often the subsystem re-raises the alarm for a
+	// node that remains failed (a down node keeps tripping its board's
+	// indicators). Default 10 minutes.
+	RepeatInterval time.Duration
+	// MaxRepeats bounds the re-alarm chain per failure episode (after
+	// which the operator is assumed to have silenced the alarm). Default
+	// 288 (two days at the default interval).
+	MaxRepeats int
+}
+
+func (c Config) withDefaults() Config {
+	if c.NodesPerBMU == 0 {
+		c.NodesPerBMU = 8
+	}
+	if c.BMUsPerCMU == 0 {
+		c.BMUsPerCMU = 16
+	}
+	if c.DetectionProb == 0 {
+		c.DetectionProb = 0.85
+	}
+	if c.LeadTime == 0 {
+		c.LeadTime = 10 * time.Minute
+	}
+	if c.RelayLatency == 0 {
+		c.RelayLatency = 5 * time.Millisecond
+	}
+	if c.RepeatInterval == 0 {
+		c.RepeatInterval = 10 * time.Minute
+	}
+	if c.MaxRepeats == 0 {
+		c.MaxRepeats = 288
+	}
+	return c
+}
+
+// Subsystem is the simulated monitoring network for one cluster.
+type Subsystem struct {
+	cfg     Config
+	cluster *cluster.Cluster
+	engine  *simnet.Engine
+	rng     *rand.Rand
+	subs    []func(Alert)
+
+	alertsEmitted int
+	falseAlerts   int
+}
+
+// New builds the monitoring subsystem over a cluster. If
+// cfg.FalseAlertsPerNodeDay > 0 a background spurious-alert process starts
+// immediately.
+func New(c *cluster.Cluster, cfg Config) *Subsystem {
+	s := &Subsystem{
+		cfg:     cfg.withDefaults(),
+		cluster: c,
+		engine:  c.Engine,
+		rng:     c.Engine.Rand("monitor"),
+	}
+	if s.cfg.FalseAlertsPerNodeDay > 0 {
+		s.startNoise()
+	}
+	return s
+}
+
+// Subscribe registers a callback for every alert reaching the SMU.
+func (s *Subsystem) Subscribe(fn func(Alert)) { s.subs = append(s.subs, fn) }
+
+// Units returns (bmuID, cmuID) for a node.
+func (s *Subsystem) Units(id cluster.NodeID) (bmu, cmu int) {
+	bmu = int(id) / s.cfg.NodesPerBMU
+	cmu = bmu / s.cfg.BMUsPerCMU
+	return
+}
+
+// BMUCount returns the number of board management units covering the
+// cluster.
+func (s *Subsystem) BMUCount() int {
+	return (s.cluster.Size() + s.cfg.NodesPerBMU - 1) / s.cfg.NodesPerBMU
+}
+
+// CMUCount returns the number of chassis management units.
+func (s *Subsystem) CMUCount() int {
+	return (s.BMUCount() + s.cfg.BMUsPerCMU - 1) / s.cfg.BMUsPerCMU
+}
+
+// AlertsEmitted returns total alerts delivered (including false alerts).
+func (s *Subsystem) AlertsEmitted() int { return s.alertsEmitted }
+
+// FalseAlerts returns the number of spurious alerts delivered.
+func (s *Subsystem) FalseAlerts() int { return s.falseAlerts }
+
+// emit relays an alert BMU → CMU → SMU and then fans it to subscribers.
+func (s *Subsystem) emit(a Alert, spurious bool) {
+	a.BMU, a.CMU = s.Units(a.Node)
+	s.engine.After(2*s.cfg.RelayLatency, func() {
+		a.At = s.engine.Now()
+		s.alertsEmitted++
+		if spurious {
+			s.falseAlerts++
+		}
+		for _, fn := range s.subs {
+			fn(a)
+		}
+	})
+}
+
+// NoticeImpendingFailure informs the subsystem that node will fail at
+// failAt (virtual time). With probability DetectionProb the indicators
+// drift early enough to produce a SevCritical alert LeadTime (±50%,
+// uniform) before the failure; otherwise only the post-hoc SevFailure
+// alert fires at failAt. Experiment failure injectors call this alongside
+// Cluster.ScheduleFailure.
+func (s *Subsystem) NoticeImpendingFailure(node cluster.NodeID, failAt time.Duration) {
+	ind := Indicators[s.rng.Intn(len(Indicators))]
+	if s.rng.Float64() < s.cfg.DetectionProb {
+		lead := time.Duration(float64(s.cfg.LeadTime) * (0.5 + s.rng.Float64()))
+		at := failAt - lead
+		if at < s.engine.Now() {
+			at = s.engine.Now()
+		}
+		s.engine.Schedule(at, func() {
+			s.emit(Alert{Node: node, Indicator: ind, Severity: SevCritical}, false)
+		})
+	}
+	s.engine.Schedule(failAt, func() {
+		s.emit(Alert{Node: node, Indicator: ind, Severity: SevFailure}, false)
+		// Keep alarming while the node stays down (bounded, so permanent
+		// failures cannot pin the event loop forever).
+		repeats := 0
+		var again func()
+		again = func() {
+			s.engine.After(s.cfg.RepeatInterval, func() {
+				if !s.cluster.Node(node).Failed() || repeats >= s.cfg.MaxRepeats {
+					return
+				}
+				repeats++
+				s.emit(Alert{Node: node, Indicator: ind, Severity: SevFailure}, false)
+				again()
+			})
+		}
+		again()
+	})
+}
+
+// startNoise emits spurious warning alerts at the configured Poisson rate
+// across the whole cluster.
+func (s *Subsystem) startNoise() {
+	ratePerSec := s.cfg.FalseAlertsPerNodeDay * float64(s.cluster.Size()) / 86400.0
+	if ratePerSec <= 0 {
+		return
+	}
+	var next func()
+	next = func() {
+		// Exponential inter-arrival.
+		gap := time.Duration(s.rng.ExpFloat64() / ratePerSec * float64(time.Second))
+		s.engine.After(gap, func() {
+			node := cluster.NodeID(s.rng.Intn(s.cluster.Size()))
+			ind := Indicators[s.rng.Intn(len(Indicators))]
+			s.emit(Alert{Node: node, Indicator: ind, Severity: SevWarning}, true)
+			next()
+		})
+	}
+	next()
+}

@@ -1,0 +1,111 @@
+package predict
+
+import (
+	"time"
+
+	"eslurm/internal/cluster"
+	"eslurm/internal/monitor"
+	"eslurm/internal/simnet"
+)
+
+// Trend is the "more advanced technique" slot of the plugin interface
+// (Section IV-C): instead of tripping on any alert like the default
+// over-predicting plugin, it requires evidence to accumulate — either one
+// critical/failure alert, or several warnings within a sliding window —
+// before marking a node. Under a noisy monitoring network this trades a
+// little recall for far fewer false placements, keeping healthy nodes in
+// interior (relay) positions where they improve tree fan-out.
+type Trend struct {
+	engine *simnet.Engine
+	ttl    time.Duration
+	window time.Duration
+	// warnThreshold is the number of warnings within the window that
+	// together count as a prediction.
+	warnThreshold int
+
+	predicted map[cluster.NodeID]time.Duration // expiry
+	warnings  map[cluster.NodeID][]time.Duration
+	alerts    int
+}
+
+// TrendConfig parameterizes the Trend predictor. Zero values take
+// defaults: TTL 30 min, window 20 min, threshold 3 warnings.
+type TrendConfig struct {
+	TTL           time.Duration
+	Window        time.Duration
+	WarnThreshold int
+}
+
+// NewTrend subscribes to the monitoring subsystem and returns the
+// predictor.
+func NewTrend(e *simnet.Engine, sub *monitor.Subsystem, cfg TrendConfig) *Trend {
+	if cfg.TTL == 0 {
+		cfg.TTL = 30 * time.Minute
+	}
+	if cfg.Window == 0 {
+		cfg.Window = 20 * time.Minute
+	}
+	if cfg.WarnThreshold == 0 {
+		cfg.WarnThreshold = 3
+	}
+	p := &Trend{
+		engine:        e,
+		ttl:           cfg.TTL,
+		window:        cfg.Window,
+		warnThreshold: cfg.WarnThreshold,
+		predicted:     make(map[cluster.NodeID]time.Duration),
+		warnings:      make(map[cluster.NodeID][]time.Duration),
+	}
+	sub.Subscribe(p.consume)
+	return p
+}
+
+func (p *Trend) consume(a monitor.Alert) {
+	p.alerts++
+	now := p.engine.Now()
+	switch a.Severity {
+	case monitor.SevCritical, monitor.SevFailure:
+		p.predicted[a.Node] = now + p.ttl
+	case monitor.SevWarning:
+		// Slide the window and count.
+		w := p.warnings[a.Node]
+		w = append(w, now)
+		keep := w[:0]
+		for _, t := range w {
+			if now-t <= p.window {
+				keep = append(keep, t)
+			}
+		}
+		p.warnings[a.Node] = keep
+		if len(keep) >= p.warnThreshold {
+			p.predicted[a.Node] = now + p.ttl
+		}
+	}
+}
+
+// Predicted implements Predictor.
+func (p *Trend) Predicted(id cluster.NodeID) bool {
+	exp, ok := p.predicted[id]
+	if !ok {
+		return false
+	}
+	if p.engine.Now() > exp {
+		delete(p.predicted, id)
+		return false
+	}
+	return true
+}
+
+// PredictedCount implements Predictor, pruning expired entries.
+func (p *Trend) PredictedCount() int {
+	now := p.engine.Now()
+	for id, exp := range p.predicted {
+		if now > exp {
+			delete(p.predicted, id)
+		}
+	}
+	return len(p.predicted)
+}
+
+// AlertsSeen returns the total alerts consumed.
+func (p *Trend) AlertsSeen() int { return p.alerts }

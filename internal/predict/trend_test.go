@@ -1,0 +1,113 @@
+package predict
+
+import (
+	"testing"
+	"time"
+
+	"eslurm/internal/cluster"
+	"eslurm/internal/monitor"
+	"eslurm/internal/simnet"
+)
+
+func trendSetup(seed int64, noise float64) (*simnet.Engine, *cluster.Cluster, *monitor.Subsystem) {
+	e := simnet.NewEngine(seed)
+	c := cluster.New(e, cluster.Config{Computes: 500})
+	sub := monitor.New(c, monitor.Config{DetectionProb: 1.0, FalseAlertsPerNodeDay: noise})
+	return e, c, sub
+}
+
+func TestTrendCriticalAlertPredictsImmediately(t *testing.T) {
+	e, c, sub := trendSetup(1, 0)
+	p := NewTrend(e, sub, TrendConfig{})
+	node := c.Computes()[3]
+	sub.NoticeImpendingFailure(node, time.Hour)
+	e.RunUntil(59 * time.Minute)
+	if !p.Predicted(node) {
+		t.Fatal("critical alert did not predict")
+	}
+}
+
+func TestTrendIgnoresSparseWarnings(t *testing.T) {
+	// One spurious warning per node per day: the burst threshold is never
+	// reached, so nothing is predicted.
+	e, c, sub := trendSetup(2, 1.0)
+	p := NewTrend(e, sub, TrendConfig{})
+	e.RunUntil(24 * time.Hour)
+	if n := p.PredictedCount(); n != 0 {
+		t.Fatalf("sparse noise produced %d predictions", n)
+	}
+	if p.AlertsSeen() < 300 {
+		t.Fatalf("noise generator inactive: %d alerts", p.AlertsSeen())
+	}
+	// The naive over-predicting plugin marks hundreds of healthy nodes on
+	// the same stream — the precision gap Trend exists to close.
+	e2, _, sub2 := trendSetup(2, 1.0)
+	naive := NewAlertDriven(e2, sub2, 0)
+	e2.RunUntil(24 * time.Hour)
+	// With a 30 min TTL, ~10 of the ~500 daily false alerts are live at
+	// any instant — each one a healthy node wrongly demoted to a leaf.
+	if naive.PredictedCount() < 5 {
+		t.Fatalf("naive plugin predicted only %d (expected standing false positives)", naive.PredictedCount())
+	}
+	_ = c
+}
+
+func TestTrendWarningBurstPredicts(t *testing.T) {
+	e, c, sub := trendSetup(3, 0)
+	p := NewTrend(e, sub, TrendConfig{Window: 10 * time.Minute, WarnThreshold: 3})
+	node := c.Computes()[7]
+	// Synthesize a warning burst through the subsystem's own emit path by
+	// scheduling NoticeImpendingFailure far out (warnings only come from
+	// noise) — instead drive consume directly via a private-channel test:
+	// warnings are delivered through Subscribe, so emit warnings by using
+	// a second subsystem with high noise focused in time is flaky; call
+	// the consume path via the public Subscribe callback contract.
+	for i := 0; i < 3; i++ {
+		at := time.Duration(i) * 2 * time.Minute
+		i := i
+		e.Schedule(at, func() {
+			_ = i
+			p.consume(monitor.Alert{Node: node, Severity: monitor.SevWarning, At: e.Now()})
+		})
+	}
+	e.RunUntil(10 * time.Minute)
+	if !p.Predicted(node) {
+		t.Fatal("warning burst did not predict")
+	}
+}
+
+func TestTrendWindowSlides(t *testing.T) {
+	e, c, sub := trendSetup(4, 0)
+	_ = sub
+	p := NewTrend(e, sub, TrendConfig{Window: 5 * time.Minute, WarnThreshold: 3})
+	node := c.Computes()[0]
+	// Three warnings spread over 30 minutes never co-occur in one window.
+	for i := 0; i < 3; i++ {
+		at := time.Duration(i) * 15 * time.Minute
+		e.Schedule(at, func() {
+			p.consume(monitor.Alert{Node: node, Severity: monitor.SevWarning, At: e.Now()})
+		})
+	}
+	e.RunUntil(time.Hour)
+	if p.Predicted(node) {
+		t.Fatal("stale warnings predicted")
+	}
+}
+
+func TestTrendTTLExpiry(t *testing.T) {
+	e, c, sub := trendSetup(5, 0)
+	p := NewTrend(e, sub, TrendConfig{TTL: 10 * time.Minute})
+	node := c.Computes()[0]
+	sub.NoticeImpendingFailure(node, time.Minute)
+	e.RunUntil(2 * time.Minute)
+	if !p.Predicted(node) {
+		t.Fatal("not predicted after failure alert")
+	}
+	e.RunUntil(30 * time.Minute)
+	if p.Predicted(node) {
+		t.Fatal("prediction did not expire")
+	}
+	if p.PredictedCount() != 0 {
+		t.Fatal("count did not prune")
+	}
+}

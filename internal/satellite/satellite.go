@@ -1,0 +1,337 @@
+// Package satellite implements the satellite-node state machine of Fig. 2
+// and Table II of the paper, and the round-robin satellite pool the master
+// draws from when splitting broadcast tasks (Section III-B/C).
+//
+// Satellite nodes "do not participate in computing tasks and do not retain
+// any system state. They act as bidirectional communication buffers with
+// initial data aggregation and processing capabilities between the master
+// node and the computing nodes."
+package satellite
+
+import (
+	"fmt"
+	"time"
+
+	"eslurm/internal/cluster"
+	"eslurm/internal/simnet"
+)
+
+// State is a satellite node's lifecycle state (Table II).
+type State int
+
+const (
+	// Unknown: satellite node state remains unknown (initial).
+	Unknown State = iota
+	// Running: satellite node is operating as expected.
+	Running
+	// Busy: satellite node is processing broadcast tasks.
+	Busy
+	// Fault: satellite node has failed.
+	Fault
+	// Down: satellite node is shut down; administrator intervention needed.
+	Down
+)
+
+func (s State) String() string {
+	switch s {
+	case Unknown:
+		return "UNKNOWN"
+	case Running:
+		return "RUNNING"
+	case Busy:
+		return "BUSY"
+	case Fault:
+		return "FAULT"
+	case Down:
+		return "DOWN"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Event drives state transitions (Table II).
+type Event int
+
+const (
+	// EvBTAssigned: a broadcast task was handed to the satellite.
+	EvBTAssigned Event = iota
+	// EvBTSuccess: satellite successfully processed a broadcast task.
+	EvBTSuccess
+	// EvBTFailure: satellite failed to process a broadcast task.
+	EvBTFailure
+	// EvHBSuccess: heartbeat confirms the satellite is healthy.
+	EvHBSuccess
+	// EvHBFailure: heartbeat shows the satellite is abnormal.
+	EvHBFailure
+	// EvShutdown: a shutdown command is sent to the satellite.
+	EvShutdown
+	// EvTimeout: satellite stayed in FAULT past the timeout (≥ 20 min).
+	EvTimeout
+)
+
+func (e Event) String() string {
+	switch e {
+	case EvBTAssigned:
+		return "BT-assigned"
+	case EvBTSuccess:
+		return "BT-success"
+	case EvBTFailure:
+		return "BT-failure"
+	case EvHBSuccess:
+		return "HB-success"
+	case EvHBFailure:
+		return "HB-failure"
+	case EvShutdown:
+		return "SHUTDOWN"
+	case EvTimeout:
+		return "TIMEOUT"
+	default:
+		return fmt.Sprintf("Event(%d)", int(e))
+	}
+}
+
+// ErrInvalidTransition reports an event that is not legal in the current
+// state.
+type ErrInvalidTransition struct {
+	From State
+	Ev   Event
+}
+
+func (e *ErrInvalidTransition) Error() string {
+	return fmt.Sprintf("satellite: event %v invalid in state %v", e.Ev, e.From)
+}
+
+// Satellite tracks the master's view of one satellite node.
+type Satellite struct {
+	ID    cluster.NodeID
+	state State
+	// faultSince is when the satellite entered FAULT (valid while state ==
+	// Fault).
+	faultSince time.Duration
+	// busyTasks counts broadcast tasks in flight; the satellite returns to
+	// RUNNING only when the last one resolves successfully.
+	busyTasks int
+
+	// Counters for Table VI reporting.
+	TasksReceived int
+	TasksFailed   int
+	NodesServed   int
+}
+
+// State returns the current state.
+func (s *Satellite) State() State { return s.state }
+
+// FaultSince returns when the satellite entered FAULT (zero unless in
+// Fault).
+func (s *Satellite) FaultSince() time.Duration { return s.faultSince }
+
+// Transition applies an event at virtual time now, returning the new state
+// or an ErrInvalidTransition. The transition table follows Fig. 2:
+//
+//	UNKNOWN --HB-success--> RUNNING
+//	UNKNOWN --HB-failure--> FAULT
+//	RUNNING --BT-assigned--> BUSY
+//	RUNNING --HB-failure--> FAULT
+//	BUSY    --BT-success--> RUNNING (when no tasks remain in flight)
+//	BUSY    --BT-failure--> FAULT
+//	BUSY    --HB-failure--> FAULT
+//	FAULT   --HB-success--> RUNNING
+//	FAULT   --TIMEOUT----> DOWN
+//	any non-DOWN --SHUTDOWN--> DOWN
+//
+// HB-success in RUNNING/BUSY and HB-failure in FAULT are absorbed (no
+// change); everything else is invalid.
+func (s *Satellite) Transition(ev Event, now time.Duration) (State, error) {
+	invalid := func() (State, error) { return s.state, &ErrInvalidTransition{From: s.state, Ev: ev} }
+	if ev == EvShutdown {
+		if s.state == Down {
+			return Down, nil
+		}
+		s.state = Down
+		s.busyTasks = 0
+		return Down, nil
+	}
+	switch s.state {
+	case Unknown:
+		switch ev {
+		case EvHBSuccess:
+			s.state = Running
+		case EvHBFailure:
+			s.enterFault(now)
+		default:
+			return invalid()
+		}
+	case Running:
+		switch ev {
+		case EvBTAssigned:
+			s.state = Busy
+			s.busyTasks = 1
+			s.TasksReceived++
+		case EvHBSuccess:
+			// absorbed
+		case EvHBFailure:
+			s.enterFault(now)
+		default:
+			return invalid()
+		}
+	case Busy:
+		switch ev {
+		case EvBTAssigned:
+			s.busyTasks++
+			s.TasksReceived++
+		case EvBTSuccess:
+			if s.busyTasks > 0 {
+				s.busyTasks--
+			}
+			if s.busyTasks == 0 {
+				s.state = Running
+			}
+		case EvBTFailure:
+			s.TasksFailed++
+			s.enterFault(now)
+		case EvHBSuccess:
+			// absorbed
+		case EvHBFailure:
+			s.enterFault(now)
+		default:
+			return invalid()
+		}
+	case Fault:
+		switch ev {
+		case EvHBSuccess:
+			s.state = Running
+		case EvHBFailure:
+			// absorbed; faultSince keeps its original value
+		case EvTimeout:
+			s.state = Down
+		case EvBTSuccess, EvBTFailure:
+			// A task outcome arriving after the satellite already faulted
+			// (e.g. HB-failure raced the task) is absorbed.
+		default:
+			return invalid()
+		}
+	case Down:
+		// Only administrator intervention (Reinstate) leaves DOWN.
+		return invalid()
+	}
+	return s.state, nil
+}
+
+func (s *Satellite) enterFault(now time.Duration) {
+	s.state = Fault
+	s.faultSince = now
+	s.busyTasks = 0
+}
+
+// Reinstate models administrator intervention on a DOWN satellite,
+// returning it to UNKNOWN (the next successful heartbeat promotes it).
+func (s *Satellite) Reinstate() { s.state = Unknown; s.busyTasks = 0 }
+
+// Pool is the master's satellite-node pool with round-robin selection over
+// RUNNING satellites (Section III-B) and FAULT-timeout demotion
+// (Section III-C, Table II: TIMEOUT default ≥ 20 min).
+type Pool struct {
+	engine *simnet.Engine
+	sats   []*Satellite
+	next   int
+	// FaultTimeout is how long a satellite may remain in FAULT before a
+	// TIMEOUT event demotes it to DOWN.
+	FaultTimeout time.Duration
+}
+
+// NewPool builds a pool over the given satellite node IDs. All satellites
+// start UNKNOWN; the caller's heartbeat loop promotes them.
+func NewPool(e *simnet.Engine, ids []cluster.NodeID) *Pool {
+	p := &Pool{engine: e, FaultTimeout: 20 * time.Minute}
+	for _, id := range ids {
+		p.sats = append(p.sats, &Satellite{ID: id})
+	}
+	return p
+}
+
+// Size returns the number of satellites configured (m in Eq. 1).
+func (p *Pool) Size() int { return len(p.sats) }
+
+// All returns the satellites in configuration order.
+func (p *Pool) All() []*Satellite { return p.sats }
+
+// Get returns the satellite tracking the given node ID, or nil.
+func (p *Pool) Get(id cluster.NodeID) *Satellite {
+	for _, s := range p.sats {
+		if s.ID == id {
+			return s
+		}
+	}
+	return nil
+}
+
+// RunningCount returns the number of satellites eligible for broadcasts.
+func (p *Pool) RunningCount() int {
+	k := 0
+	for _, s := range p.sats {
+		if s.state == Running {
+			k++
+		}
+	}
+	return k
+}
+
+// NextRunning returns the next RUNNING satellite in round-robin order, or
+// nil when none is available. BUSY satellites are skipped: "only satellite
+// nodes at the RUNNING state will be chosen to participate in message
+// broadcasting."
+func (p *Pool) NextRunning() *Satellite {
+	n := len(p.sats)
+	for i := 0; i < n; i++ {
+		s := p.sats[(p.next+i)%n]
+		if s.state == Running {
+			p.next = (p.next + i + 1) % n
+			return s
+		}
+	}
+	return nil
+}
+
+// SelectRunning returns up to k distinct RUNNING satellites in round-robin
+// order.
+func (p *Pool) SelectRunning(k int) []*Satellite {
+	var out []*Satellite
+	seen := map[cluster.NodeID]bool{}
+	for len(out) < k {
+		s := p.NextRunning()
+		if s == nil || seen[s.ID] {
+			break
+		}
+		seen[s.ID] = true
+		out = append(out, s)
+	}
+	return out
+}
+
+// Apply transitions a satellite and, on entry to FAULT, schedules the
+// TIMEOUT check that demotes it to DOWN if it has not recovered.
+func (p *Pool) Apply(s *Satellite, ev Event) (State, error) {
+	before := s.state
+	st, err := s.Transition(ev, p.engine.Now())
+	if err != nil {
+		return st, err
+	}
+	if st == Fault && before != Fault {
+		since := s.faultSince
+		p.engine.After(p.FaultTimeout, func() {
+			if s.state == Fault && s.faultSince == since {
+				s.Transition(EvTimeout, p.engine.Now())
+			}
+		})
+	}
+	return st, nil
+}
+
+// Counts returns the number of satellites in each state.
+func (p *Pool) Counts() map[State]int {
+	out := make(map[State]int, 5)
+	for _, s := range p.sats {
+		out[s.state]++
+	}
+	return out
+}

@@ -1,0 +1,409 @@
+// Package sched is the job-scheduling simulator behind the Fig. 10
+// evaluation: an event-driven cluster scheduler replaying workload traces
+// under FCFS or EASY backfill, with pluggable walltime estimation (user
+// estimates vs the ESlurm estimation framework), per-RM job
+// load/termination overheads, walltime kills with resubmission, and a
+// master-crash model for centralized RMs at scale (§II-B: the production
+// Slurm crashed every ~42 h with ~90 min reboots).
+//
+// Metrics follow Section VII-D: system utilization (node-hours running /
+// total elapsed node-hours), average waiting time, and average bounded
+// slowdown (Eq. 6 with τ = 10 s).
+package sched
+
+import (
+	"time"
+
+	"eslurm/internal/estimate"
+	"eslurm/internal/simnet"
+	"eslurm/internal/stats"
+	"eslurm/internal/trace"
+)
+
+// Policy selects the queueing discipline.
+type Policy int
+
+const (
+	// FCFS starts jobs strictly in queue order.
+	FCFS Policy = iota
+	// Backfill is EASY backfilling: the queue head gets a reservation and
+	// later jobs may jump ahead if they cannot delay it (the algorithm all
+	// RMs use in the Fig. 10 comparison).
+	Backfill
+)
+
+// WalltimePredictor supplies the walltime limit the scheduler plans with.
+// estimate.Framework and every estimate.Estimator satisfy the shape via
+// the adapters below.
+type WalltimePredictor interface {
+	// Walltime returns the limit for a newly submitted job.
+	Walltime(j *trace.Job) time.Duration
+	// JobDone reports a finished job and its actual runtime.
+	JobDone(j *trace.Job)
+}
+
+// UserWalltimes plans with the user-supplied estimates (every baseline RM).
+type UserWalltimes struct{}
+
+// Walltime returns the user's request.
+func (UserWalltimes) Walltime(j *trace.Job) time.Duration { return j.UserEstimate }
+
+// JobDone is a no-op.
+func (UserWalltimes) JobDone(*trace.Job) {}
+
+// Overhead gives the RM-imposed job load and termination latencies for a
+// job of a given node count — measured from the rm package's broadcast
+// models and fed in as a lookup so trace replay stays fast.
+type Overhead func(nodes int) (load, term time.Duration)
+
+// Config parameterizes one scheduling run.
+type Config struct {
+	// Nodes is the cluster's compute-node count.
+	Nodes int
+	// Policy defaults to Backfill.
+	Policy Policy
+	// Predictor defaults to UserWalltimes.
+	Predictor WalltimePredictor
+	// Overhead defaults to zero overhead.
+	Overhead Overhead
+	// KillAtLimit enforces walltime limits: a job whose limit is below its
+	// actual runtime is killed at the limit and resubmitted once with a
+	// doubled request (the failure-and-reschedule cost of underestimation,
+	// §V-B).
+	KillAtLimit bool
+	// CrashMTBF, when positive, takes the whole RM down on this mean
+	// period; no job starts during CrashDowntime (default 90 min). Models
+	// the centralized-master crashes observed in production (§II-B).
+	CrashMTBF     time.Duration
+	CrashDowntime time.Duration
+	// UtilWindow, when positive, measures utilization over this fixed
+	// horizon from trace start (the production observation window) rather
+	// than over the replay's makespan: work an RM fails to start inside
+	// the window does not count, which is how a slow or crashing master
+	// depresses production utilization.
+	UtilWindow time.Duration
+	// Seed drives crash timing.
+	Seed int64
+}
+
+// Result carries the Fig. 10 metrics for one run.
+type Result struct {
+	// Utilization is used node-hours over total elapsed node-hours.
+	Utilization float64
+	// AvgWait is the mean queue wait.
+	AvgWait time.Duration
+	// P95Wait is the 95th-percentile queue wait — means hide the tail
+	// that users actually complain about.
+	P95Wait time.Duration
+	// AvgBoundedSlowdown is Eq. 6 averaged over completed jobs (τ = 10 s).
+	AvgBoundedSlowdown float64
+	// MaxBoundedSlowdown is the worst single job's bounded slowdown.
+	MaxBoundedSlowdown float64
+	// Completed, Killed count job outcomes; Killed jobs were resubmitted.
+	Completed, Killed int
+	// Makespan is the span from first submission to last completion.
+	Makespan time.Duration
+}
+
+const slowdownTau = 10 * time.Second
+
+// runningJob tracks an executing job for the backfill planner.
+type runningJob struct {
+	nodes    int
+	limitEnd time.Duration // when its walltime limit expires
+}
+
+type queuedJob struct {
+	job trace.Job
+	// walltime is the limit the scheduler plans with (predictor output).
+	walltime time.Duration
+	// killLimit is the limit the job is actually killed at: the user's
+	// request when present. System predictions steer backfill but never
+	// kill a job early (Tsafrir et al.; the ESlurm framework's AEA gate
+	// plays the same safety role).
+	killLimit time.Duration
+	enqueued  time.Duration
+	resubmit  bool
+}
+
+// Run replays jobs (which must be sorted by Submit) through the scheduler.
+func Run(jobs []trace.Job, cfg Config) Result {
+	if cfg.Nodes <= 0 {
+		panic("sched: Config.Nodes must be positive")
+	}
+	if cfg.Predictor == nil {
+		cfg.Predictor = UserWalltimes{}
+	}
+	if cfg.Overhead == nil {
+		cfg.Overhead = func(int) (time.Duration, time.Duration) { return 0, 0 }
+	}
+	if cfg.CrashDowntime == 0 {
+		cfg.CrashDowntime = 90 * time.Minute
+	}
+
+	e := simnet.NewEngine(cfg.Seed + 7)
+	s := &state{
+		cfg:    cfg,
+		engine: e,
+		free:   cfg.Nodes,
+	}
+
+	var firstSubmit, lastEnd time.Duration
+	if len(jobs) > 0 {
+		firstSubmit = jobs[0].Submit
+	}
+	for i := range jobs {
+		j := jobs[i]
+		if j.Nodes > cfg.Nodes {
+			continue // cannot ever fit; real RMs reject at submit
+		}
+		s.outstanding++
+		e.Schedule(j.Submit, func() { s.submit(j, false) })
+	}
+
+	// Crash process: the chain re-arms itself only while work remains, so
+	// the event heap drains once the trace is finished.
+	if cfg.CrashMTBF > 0 && s.outstanding > 0 {
+		rng := e.Rand("sched/crash")
+		var crash func()
+		crash = func() {
+			if s.outstanding == 0 {
+				return
+			}
+			gap := time.Duration(rng.ExpFloat64() * float64(cfg.CrashMTBF))
+			e.After(gap, func() {
+				if s.outstanding == 0 {
+					return
+				}
+				s.down = true
+				e.After(cfg.CrashDowntime, func() {
+					s.down = false
+					s.schedule()
+					crash()
+				})
+			})
+		}
+		crash()
+	}
+	e.Run()
+
+	lastEnd = s.lastCompletion
+	res := Result{Completed: s.completed, Killed: s.killed, Makespan: lastEnd - firstSubmit}
+	if s.completed > 0 {
+		res.AvgWait = time.Duration(int64(s.waitSum) / int64(s.completed))
+		res.AvgBoundedSlowdown = s.slowdownSum / float64(s.completed)
+		res.P95Wait = time.Duration(s.waits.Percentile(95) * float64(time.Second))
+		res.MaxBoundedSlowdown = s.slowdowns.Max()
+	}
+	if cfg.UtilWindow > 0 {
+		res.Utilization = s.nodeSeconds / (float64(cfg.Nodes) * cfg.UtilWindow.Seconds())
+	} else if res.Makespan > 0 {
+		res.Utilization = s.nodeSeconds / (float64(cfg.Nodes) * res.Makespan.Seconds())
+	}
+	return res
+}
+
+type state struct {
+	cfg    Config
+	engine *simnet.Engine
+
+	free    int
+	running []runningJob
+	queue   []queuedJob
+	down    bool
+
+	completed, killed int
+	outstanding       int
+	waitSum           time.Duration
+	slowdownSum       float64
+	waits             stats.Summary
+	slowdowns         stats.Summary
+	nodeSeconds       float64
+	lastCompletion    time.Duration
+}
+
+func (s *state) submit(j trace.Job, resubmit bool) {
+	wt := j.UserEstimate
+	if !resubmit {
+		if p := s.cfg.Predictor.Walltime(&j); p > 0 {
+			wt = p
+		}
+	} else {
+		// Resubmission after a kill: the user doubles the request.
+		wt = j.UserEstimate * 2
+	}
+	// Kill policy: a job is never killed before its own requested
+	// walltime — the model estimate steers scheduling, and only becomes
+	// the enforced limit when the user supplied no request (where
+	// underestimation costs a kill + resubmission, the failure-and-
+	// reschedule penalty the slack variable α suppresses, §V-B).
+	kill := wt
+	if j.UserEstimate > kill {
+		kill = j.UserEstimate
+	}
+	if resubmit {
+		kill = j.UserEstimate * 2
+	}
+	s.queue = append(s.queue, queuedJob{
+		job: j, walltime: wt, killLimit: kill,
+		enqueued: s.engine.Now(), resubmit: resubmit,
+	})
+	s.schedule()
+}
+
+// start launches a queued job now.
+func (s *state) start(q queuedJob) {
+	now := s.engine.Now()
+	load, term := s.cfg.Overhead(q.job.Nodes)
+	runtime := q.job.Runtime
+	killed := false
+	if s.cfg.KillAtLimit && q.killLimit < runtime {
+		runtime = q.killLimit
+		killed = true
+	}
+	occupation := load + runtime + term
+
+	s.free -= q.job.Nodes
+	rj := runningJob{nodes: q.job.Nodes, limitEnd: now + load + q.walltime + term}
+	s.running = append(s.running, rj)
+
+	wait := now - q.enqueued
+	s.engine.After(occupation, func() {
+		s.free += q.job.Nodes
+		for i := range s.running {
+			if s.running[i] == rj {
+				s.running = append(s.running[:i], s.running[i+1:]...)
+				break
+			}
+		}
+		// Utilization counts node-hours spent *running* (the paper's
+		// definition); RM load/termination overhead holds the nodes
+		// without running the job, so it dilutes utilization. With a
+		// UtilWindow, only the portion of the run inside the window
+		// counts.
+		runStart := now + load
+		runEnd := runStart + runtime
+		if s.cfg.UtilWindow > 0 {
+			if runStart > s.cfg.UtilWindow {
+				runEnd = runStart // fully outside
+			} else if runEnd > s.cfg.UtilWindow {
+				runEnd = s.cfg.UtilWindow
+			}
+		}
+		if runEnd > runStart {
+			s.nodeSeconds += float64(q.job.Nodes) * (runEnd - runStart).Seconds()
+		}
+		end := s.engine.Now()
+		if end > s.lastCompletion {
+			s.lastCompletion = end
+		}
+		if killed {
+			s.killed++
+			if !q.resubmit {
+				// One retry with a doubled request.
+				s.submit(q.job, true)
+			} else {
+				s.outstanding--
+			}
+		} else {
+			s.outstanding--
+			s.completed++
+			s.waitSum += wait
+			tr := q.job.Runtime
+			if tr < slowdownTau {
+				tr = slowdownTau
+			}
+			sd := (wait + q.job.Runtime).Seconds() / tr.Seconds()
+			if sd < 1 {
+				sd = 1
+			}
+			s.slowdownSum += sd
+			s.waits.Add(wait.Seconds())
+			s.slowdowns.Add(sd)
+			s.cfg.Predictor.JobDone(&q.job)
+		}
+		s.schedule()
+	})
+}
+
+// schedule runs one scheduling pass (FCFS or EASY backfill).
+func (s *state) schedule() {
+	if s.down {
+		return
+	}
+	// Start jobs in order while they fit.
+	for len(s.queue) > 0 && s.queue[0].job.Nodes <= s.free {
+		q := s.queue[0]
+		s.queue = s.queue[1:]
+		s.start(q)
+	}
+	if len(s.queue) == 0 || s.cfg.Policy == FCFS {
+		return
+	}
+
+	// EASY backfill: reserve for the head, let later jobs slip in if they
+	// cannot delay the reservation.
+	head := s.queue[0]
+	shadow, extra := s.reservation(head.job.Nodes)
+	now := s.engine.Now()
+	for i := 1; i < len(s.queue); {
+		q := s.queue[i]
+		if q.job.Nodes <= s.free {
+			load, term := s.cfg.Overhead(q.job.Nodes)
+			endsBy := now + load + q.walltime + term
+			if endsBy <= shadow || q.job.Nodes <= extra {
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				s.start(q)
+				if q.job.Nodes <= extra {
+					extra -= q.job.Nodes
+				}
+				continue
+			}
+		}
+		i++
+	}
+}
+
+// reservation computes the EASY shadow time for a head job needing n nodes
+// and the extra nodes that will remain free at that time.
+func (s *state) reservation(n int) (shadow time.Duration, extra int) {
+	if n <= s.free {
+		return s.engine.Now(), s.free - n
+	}
+	// Sort running jobs by limit end (insertion into a copy; running lists
+	// are short relative to trace sizes).
+	ends := make([]runningJob, len(s.running))
+	copy(ends, s.running)
+	sortRunning(ends)
+	avail := s.free
+	for _, r := range ends {
+		avail += r.nodes
+		if avail >= n {
+			return r.limitEnd, avail - n
+		}
+	}
+	// Unreachable when job sizes are validated at submit; be safe.
+	return s.engine.Now() + 365*24*time.Hour, 0
+}
+
+func sortRunning(rs []runningJob) {
+	// Insertion sort: running sets are small and nearly sorted.
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j].limitEnd < rs[j-1].limitEnd; j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}
+
+// FrameworkWalltimes plans with the ESlurm estimation framework: the
+// model estimate when its cluster passes the AEA gate, the user estimate
+// otherwise (Section V-B), feeding completions back to the record module.
+type FrameworkWalltimes struct{ F *estimate.Framework }
+
+// Walltime implements WalltimePredictor.
+func (f FrameworkWalltimes) Walltime(j *trace.Job) time.Duration {
+	return f.F.Predict(j).Used
+}
+
+// JobDone implements WalltimePredictor.
+func (f FrameworkWalltimes) JobDone(j *trace.Job) { f.F.Complete(j) }

@@ -1,0 +1,267 @@
+package simnet
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	e.Schedule(3*time.Second, func() { order = append(order, 3) })
+	e.Schedule(1*time.Second, func() { order = append(order, 1) })
+	e.Schedule(2*time.Second, func() { order = append(order, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 3*time.Second {
+		t.Errorf("Now = %v, want 3s", e.Now())
+	}
+}
+
+func TestTieBreakBySeq(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Second, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("same-time events reordered: %v", order)
+		}
+	}
+}
+
+func TestAfterClampsNegative(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(5*time.Second, func() {
+		fired := false
+		e.After(-time.Second, func() { fired = true })
+		e.Step()
+		if !fired {
+			t.Error("negative After never fired")
+		}
+		if e.Now() != 5*time.Second {
+			t.Errorf("negative After moved time to %v", e.Now())
+		}
+	})
+	e.Run()
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(5*time.Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.Schedule(time.Second, func() {})
+	})
+	e.Run()
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	ev := e.Schedule(time.Second, func() { fired = true })
+	ev.Cancel()
+	e.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if !ev.Canceled() {
+		t.Error("Canceled() = false after Cancel")
+	}
+}
+
+func TestCancelFromEarlierEvent(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	ev := e.Schedule(2*time.Second, func() { fired = true })
+	e.Schedule(time.Second, func() { ev.Cancel() })
+	e.Run()
+	if fired {
+		t.Error("event cancelled mid-run still fired")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine(1)
+	var fired []int
+	e.Schedule(1*time.Second, func() { fired = append(fired, 1) })
+	e.Schedule(5*time.Second, func() { fired = append(fired, 5) })
+	e.RunUntil(3 * time.Second)
+	if len(fired) != 1 || fired[0] != 1 {
+		t.Fatalf("fired = %v, want [1]", fired)
+	}
+	if e.Now() != 3*time.Second {
+		t.Errorf("Now = %v, want 3s", e.Now())
+	}
+	e.RunUntil(10 * time.Second)
+	if len(fired) != 2 {
+		t.Fatalf("second RunUntil did not fire pending event: %v", fired)
+	}
+}
+
+func TestRunUntilBoundaryInclusive(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	e.Schedule(3*time.Second, func() { fired = true })
+	e.RunUntil(3 * time.Second)
+	if !fired {
+		t.Error("event exactly at deadline did not fire")
+	}
+}
+
+func TestEvery(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	tk := e.Every(time.Second, func() {
+		count++
+		if count == 5 {
+			// Stop from within the callback.
+		}
+	})
+	e.RunUntil(4500 * time.Millisecond)
+	if count != 4 {
+		t.Fatalf("ticks = %d, want 4", count)
+	}
+	tk.Stop()
+	e.RunUntil(10 * time.Second)
+	if count != 4 {
+		t.Fatalf("ticker fired after Stop: %d", count)
+	}
+}
+
+func TestEveryStopInsideCallback(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	var tk *Ticker
+	tk = e.Every(time.Second, func() {
+		count++
+		if count == 3 {
+			tk.Stop()
+		}
+	})
+	e.Run()
+	if count != 3 {
+		t.Fatalf("ticks = %d, want 3", count)
+	}
+}
+
+func TestEveryNonPositivePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Every(0) did not panic")
+		}
+	}()
+	NewEngine(1).Every(0, func() {})
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	e := NewEngine(1)
+	n := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(time.Duration(i)*time.Second, func() {
+			n++
+			if n == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if n != 3 {
+		t.Fatalf("events after Stop: n = %d", n)
+	}
+	if e.Pending() == 0 {
+		t.Error("Stop drained the heap")
+	}
+}
+
+func TestRandDeterministic(t *testing.T) {
+	a := NewEngine(42).Rand("net")
+	b := NewEngine(42).Rand("net")
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same (seed,label) streams diverged")
+		}
+	}
+	c := NewEngine(42).Rand("other")
+	d := NewEngine(43).Rand("net")
+	if c.Int63() == a.Int63() && d.Int63() == b.Int63() {
+		t.Error("distinct labels/seeds produced identical streams")
+	}
+}
+
+func TestProcessedCount(t *testing.T) {
+	e := NewEngine(1)
+	for i := 0; i < 7; i++ {
+		e.Schedule(time.Duration(i)*time.Millisecond, func() {})
+	}
+	e.Run()
+	if e.Processed() != 7 {
+		t.Fatalf("Processed = %d, want 7", e.Processed())
+	}
+}
+
+// Property: running any batch of events executes them in nondecreasing time
+// order regardless of insertion order.
+func TestPropertyTimeOrdered(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine(7)
+		var seen []time.Duration
+		for _, d := range delays {
+			at := time.Duration(d) * time.Millisecond
+			e.Schedule(at, func() { seen = append(seen, e.Now()) })
+		}
+		e.Run()
+		for i := 1; i < len(seen); i++ {
+			if seen[i] < seen[i-1] {
+				return false
+			}
+		}
+		return len(seen) == len(delays)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: RunUntil never advances past the deadline while events fire, and
+// Now() equals the deadline afterwards.
+func TestPropertyRunUntilDeadline(t *testing.T) {
+	f := func(delays []uint16, deadlineMS uint16) bool {
+		e := NewEngine(3)
+		deadline := time.Duration(deadlineMS) * time.Millisecond
+		ok := true
+		for _, d := range delays {
+			e.Schedule(time.Duration(d)*time.Millisecond, func() {
+				if e.Now() > deadline {
+					ok = false
+				}
+			})
+		}
+		e.RunUntil(deadline)
+		return ok && e.Now() == deadline
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEngineThroughput(b *testing.B) {
+	e := NewEngine(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(time.Microsecond, func() {})
+		e.Step()
+	}
+}

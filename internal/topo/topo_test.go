@@ -1,0 +1,168 @@
+package topo
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"eslurm/internal/cluster"
+	"eslurm/internal/fptree"
+)
+
+func ids(n int) []cluster.NodeID {
+	out := make([]cluster.NodeID, n)
+	for i := range out {
+		out[i] = cluster.NodeID(i)
+	}
+	return out
+}
+
+func TestHierarchy(t *testing.T) {
+	tp := Default()
+	if tp.NodesPerRack() != 512 {
+		t.Fatalf("nodes per rack = %d", tp.NodesPerRack())
+	}
+	if tp.Board(7) != 0 || tp.Board(8) != 1 {
+		t.Error("board indexing wrong")
+	}
+	if tp.Chassis(127) != 0 || tp.Chassis(128) != 1 {
+		t.Error("chassis indexing wrong")
+	}
+	if tp.Rack(511) != 0 || tp.Rack(512) != 1 {
+		t.Error("rack indexing wrong")
+	}
+}
+
+func TestHops(t *testing.T) {
+	tp := Default()
+	cases := []struct {
+		a, b cluster.NodeID
+		want int
+	}{
+		{0, 7, 0},   // same board
+		{0, 8, 1},   // same chassis
+		{0, 128, 2}, // same rack
+		{0, 512, 3}, // cross rack
+		{5, 5, 0},
+	}
+	for _, c := range cases {
+		if got := tp.Hops(c.a, c.b); got != c.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestOrderGroupsRacks(t *testing.T) {
+	tp := Default()
+	// Interleave nodes from two racks.
+	var list []cluster.NodeID
+	for i := 0; i < 20; i++ {
+		list = append(list, cluster.NodeID(i), cluster.NodeID(512+i))
+	}
+	rng := rand.New(rand.NewSource(1))
+	rng.Shuffle(len(list), func(i, j int) { list[i], list[j] = list[j], list[i] })
+	ordered := tp.Order(list)
+	// All rack-0 nodes must precede all rack-1 nodes.
+	seenRack1 := false
+	for _, id := range ordered {
+		if tp.Rack(id) == 1 {
+			seenRack1 = true
+		} else if seenRack1 {
+			t.Fatal("rack-0 node after rack-1 nodes")
+		}
+	}
+	// Input untouched.
+	if &list[0] == &ordered[0] {
+		t.Error("Order mutated its input")
+	}
+}
+
+func TestTopologyOrderReducesTreeCost(t *testing.T) {
+	tp := Default()
+	// 1024 nodes across two racks, shuffled.
+	list := ids(1024)
+	rng := rand.New(rand.NewSource(2))
+	shuffled := append([]cluster.NodeID(nil), list...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+
+	random := tp.TreeCost(fptree.Build(shuffled, 32))
+	aware := tp.TreeCost(fptree.Build(tp.Order(shuffled), 32))
+	if aware >= random {
+		t.Fatalf("topology-aware cost %d >= random cost %d", aware, random)
+	}
+}
+
+func TestPlanFPTreeComposition(t *testing.T) {
+	tp := Default()
+	list := ids(512)
+	predicted := map[cluster.NodeID]bool{3: true, 100: true, 300: true}
+	pred := func(id cluster.NodeID) bool { return predicted[id] }
+	plan, swaps := tp.PlanFPTree(list, pred, 16)
+
+	// Predicted nodes sit at leaf slots.
+	slots := fptree.LeafSlots(len(plan), 16)
+	for i, id := range plan {
+		if predicted[id] && !slots[i] {
+			t.Errorf("predicted node %d at interior slot %d", id, i)
+		}
+	}
+	// Fine-tuning moved at most 2 nodes per prediction.
+	if swaps > len(predicted) {
+		t.Errorf("swaps = %d, want <= %d", swaps, len(predicted))
+	}
+	// The composed plan's cost stays near the purely topology-aware one:
+	// fine-tuning must not destroy locality (§IV-E).
+	awareCost := tp.TreeCost(fptree.Build(tp.Order(list), 16))
+	planCost := tp.TreeCost(fptree.Build(plan, 16))
+	if planCost > awareCost+6*3 { // each swap can add at most two cross-rack edges... bounded slack
+		t.Errorf("fine-tuned cost %d far above topology-aware cost %d", planCost, awareCost)
+	}
+}
+
+// Property: Order returns a permutation with nondecreasing rack indices.
+func TestPropertyOrderPermutationSorted(t *testing.T) {
+	tp := Default()
+	f := func(seed int64, n16 uint16) bool {
+		n := int(n16%2000) + 1
+		rng := rand.New(rand.NewSource(seed))
+		list := make([]cluster.NodeID, n)
+		for i := range list {
+			list[i] = cluster.NodeID(rng.Intn(8192))
+		}
+		out := tp.Order(list)
+		if len(out) != n {
+			return false
+		}
+		counts := map[cluster.NodeID]int{}
+		for _, id := range list {
+			counts[id]++
+		}
+		for _, id := range out {
+			counts[id]--
+		}
+		for _, c := range counts {
+			if c != 0 {
+				return false
+			}
+		}
+		for i := 1; i < len(out); i++ {
+			if tp.Rack(out[i]) < tp.Rack(out[i-1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPlanFPTree4K(b *testing.B) {
+	tp := Default()
+	list := ids(4096)
+	pred := func(id cluster.NodeID) bool { return id%50 == 0 }
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tp.PlanFPTree(list, pred, 32)
+	}
+}
