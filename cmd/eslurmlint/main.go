@@ -1,0 +1,87 @@
+// Command eslurmlint runs the project's determinism-enforcing static
+// analyzers (walltime, detrand, maporder, errdrop) over the module.
+//
+// Usage:
+//
+//	go run ./cmd/eslurmlint ./...
+//
+// Each argument is a directory or a dir/... pattern; the default is ./...
+// (every package under the current directory). Findings print as
+// "file:line: [analyzer] message" and any unsuppressed finding makes the
+// process exit 1; loading or type-checking failures exit 2. Suppress a
+// site with `//eslurmlint:ignore <analyzer> <reason>` on the offending
+// line or the line above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"eslurm/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main minus os.Exit so tests can drive every exit path.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("eslurmlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: eslurmlint [-list] [packages]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(stdout, "%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "eslurmlint:", err)
+		return 2
+	}
+	root, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, "eslurmlint:", err)
+		return 2
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "eslurmlint:", err)
+		return 2
+	}
+	pkgs, err := loader.LoadPatterns(patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "eslurmlint:", err)
+		return 2
+	}
+
+	findings := lint.Run(pkgs, lint.Analyzers())
+	for _, f := range findings {
+		pos := f.Pos
+		if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && len(rel) < len(pos.Filename) {
+			pos.Filename = rel
+		}
+		fmt.Fprintf(stdout, "%s:%d: [%s] %s\n", pos.Filename, pos.Line, f.Analyzer, f.Message)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "eslurmlint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// run is exercised directly so every exit path of the CLI is covered
+// without spawning processes.
+
+func TestRunBadPackagePath(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"./no/such/dir"}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "no/such/dir") {
+		t.Errorf("stderr does not name the bad pattern: %s", errb.String())
+	}
+}
+
+func TestRunFindingPresent(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"testdata/violating"}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "[detrand]") {
+		t.Errorf("stdout missing the detrand finding:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "violating.go:") {
+		t.Errorf("stdout missing file:line position:\n%s", out.String())
+	}
+	if !strings.Contains(errb.String(), "1 finding(s)") {
+		t.Errorf("stderr missing the finding count: %s", errb.String())
+	}
+}
+
+func TestRunAllSuppressed(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"testdata/suppressed"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0; output: %s%s", code, out.String(), errb.String())
+	}
+	if out.String() != "" {
+		t.Errorf("expected no findings, got:\n%s", out.String())
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, name := range []string{"walltime", "detrand", "maporder", "errdrop"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-definitely-not-a-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}

@@ -1,0 +1,10 @@
+// Package suppressed is a CLI test fixture whose only finding carries a
+// valid suppression, so the CLI must exit 0.
+package suppressed
+
+import "math/rand"
+
+func Draw(n int) int {
+	//eslurmlint:ignore detrand fixture exercising the all-suppressed exit path
+	return rand.Intn(n)
+}

@@ -1,0 +1,10 @@
+// Package violating is a CLI test fixture with one unsuppressed detrand
+// finding; testdata directories are invisible to ./... walks, so it never
+// reaches real lint runs.
+package violating
+
+import "math/rand"
+
+func Draw(n int) int {
+	return rand.Intn(n)
+}

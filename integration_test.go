@@ -4,11 +4,17 @@
 package eslurm_test
 
 import (
+	"fmt"
+	"hash/fnv"
+	"math"
 	"strings"
 	"testing"
 	"time"
 
+	"eslurm/internal/cluster"
 	"eslurm/internal/experiment"
+	"eslurm/internal/rm"
+	"eslurm/internal/simnet"
 )
 
 // tinyParams shrinks every experiment far below the quick preset so the
@@ -67,6 +73,77 @@ func TestEveryExperimentRunsAtTinyScale(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// fullStackDigest runs a complete ESlurm stack (cluster + satellites +
+// RM + job flow) for a stretch of virtual time and returns (a) an FNV
+// digest of the engine's full event trace — every executed event's
+// (time, seq) pair in execution order — and (b) a rendering of the final
+// metrics. Identical seeds must yield identical digests bit for bit;
+// this is the determinism contract eslurmlint statically enforces.
+func fullStackDigest(seed int64) (trace string, metrics string) {
+	const nodes = 128
+	span := 20 * time.Minute
+
+	e := simnet.NewEngine(seed)
+	h := fnv.New64a()
+	e.Observe(func(at time.Duration, seq uint64) {
+		fmt.Fprintf(h, "%d:%d;", int64(at), seq)
+	})
+	c := cluster.New(e, cluster.Config{Computes: nodes, Satellites: 2})
+	r := rm.NewESlurm(c)
+	r.Start()
+
+	rng := e.Rand("integration/determinism")
+	var submit func()
+	submit = func() {
+		gap := time.Duration(30+rng.ExpFloat64()*70) * time.Second
+		e.After(gap, func() {
+			if e.Now() > span {
+				return
+			}
+			size := int(math.Exp(rng.NormFloat64()*1.2+3.0)) + 1
+			if size > nodes/2 {
+				size = nodes / 2
+			}
+			jobNodes := c.Computes()[:size]
+			r.LoadJob(jobNodes, func(time.Duration) {
+				runFor := time.Duration(10+rng.ExpFloat64()*110) * time.Second
+				e.After(runFor, func() {
+					r.TerminateJob(jobNodes, func(time.Duration) {})
+				})
+			})
+			submit()
+		})
+	}
+	submit()
+
+	e.RunUntil(span)
+	r.Stop()
+	e.RunUntil(span + 10*time.Minute)
+
+	m := r.Meter()
+	metrics = fmt.Sprintf("events=%d cpu=%v vmem=%d rss=%d sockets=%.6f peak=%d",
+		e.Processed(), m.CPUTime(), m.VMem(), m.RSS(), m.AvgSockets(), m.PeakSockets())
+	return fmt.Sprintf("%016x", h.Sum64()), metrics
+}
+
+// TestFullStackDeterminism is the regression test behind the eslurmlint
+// gate: the same seed twice must reproduce the exact event trace and
+// final metrics, and a different seed must actually change the run.
+func TestFullStackDeterminism(t *testing.T) {
+	trace1, metrics1 := fullStackDigest(42)
+	trace2, metrics2 := fullStackDigest(42)
+	if trace1 != trace2 {
+		t.Errorf("event-trace digests differ for the same seed: %s vs %s", trace1, trace2)
+	}
+	if metrics1 != metrics2 {
+		t.Errorf("final metrics differ for the same seed:\n%s\n%s", metrics1, metrics2)
+	}
+	trace3, _ := fullStackDigest(43)
+	if trace3 == trace1 {
+		t.Errorf("different seeds produced the same event-trace digest %s; the seed is not wired through", trace1)
 	}
 }
 

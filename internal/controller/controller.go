@@ -18,6 +18,7 @@ package controller
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"eslurm/internal/alloc"
@@ -277,20 +278,24 @@ func (ctl *Controller) reservation(ps *partitionState, n int) (time.Duration, in
 	if n <= avail {
 		return ctl.Engine.Now(), avail - n
 	}
-	// Collect running jobs by walltime end.
+	// Collect running jobs by walltime end. The job ID breaks end-time
+	// ties: without it, equal-end jobs keep random map order and the
+	// (shadow, extra) result varies between identically seeded runs.
 	type rel struct {
 		end   time.Duration
 		nodes int
+		id    jobs.ID
 	}
 	var rels []rel
 	for r := range ps.running {
-		rels = append(rels, rel{r.limitEnd, len(r.nodes)})
+		rels = append(rels, rel{r.limitEnd, len(r.nodes), r.job.ID})
 	}
-	for i := 1; i < len(rels); i++ {
-		for j := i; j > 0 && rels[j].end < rels[j-1].end; j-- {
-			rels[j], rels[j-1] = rels[j-1], rels[j]
+	sort.Slice(rels, func(i, j int) bool {
+		if rels[i].end != rels[j].end {
+			return rels[i].end < rels[j].end
 		}
-	}
+		return rels[i].id < rels[j].id
+	})
 	for _, r := range rels {
 		avail += r.nodes
 		if avail >= n {

@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrdropAnalyzer flags discarded error returns from the parse/encode
+// boundary packages: internal/config, internal/hostlist, internal/proto,
+// and the estimator checkpoint code in internal/estimate/persist.go. A
+// swallowed error from any of these does not crash — it silently feeds a
+// zero value into the simulation (an empty host set, a half-decoded
+// message, a stale estimator state) and skews every downstream number.
+// Both `_ =` assignments and bare call statements (including go/defer)
+// are flagged.
+var ErrdropAnalyzer = &Analyzer{
+	Name: "errdrop",
+	Doc:  "flag discarded errors from config/hostlist/proto/estimate-persist functions",
+	Run:  runErrdrop,
+}
+
+// errdropPkgSuffixes are package-path suffixes whose whole API is
+// error-checked; internal/estimate is scoped to persist.go only.
+var errdropPkgSuffixes = []string{"internal/config", "internal/hostlist", "internal/proto"}
+
+func errdropTarget(p *Package, fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	for _, suffix := range errdropPkgSuffixes {
+		if strings.HasSuffix(path, suffix) {
+			return true
+		}
+	}
+	if strings.HasSuffix(path, "internal/estimate") {
+		return strings.HasSuffix(p.Fset.Position(fn.Pos()).Filename, "persist.go")
+	}
+	return false
+}
+
+var errType = types.Universe.Lookup("error").Type()
+
+// errResultIndices returns the positions of error-typed results.
+func errResultIndices(sig *types.Signature) []int {
+	var idx []int
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if types.Identical(res.At(i).Type(), errType) {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+func runErrdrop(p *Package) []Finding {
+	var out []Finding
+	report := func(call *ast.CallExpr, fn *types.Func, how string) {
+		out = append(out, Finding{
+			Pos:      p.Fset.Position(call.Pos()),
+			Analyzer: "errdrop",
+			Message: "error from " + fn.Pkg().Name() + "." + fn.Name() + " is " + how +
+				"; a swallowed parse/encode error silently skews the experiment",
+		})
+	}
+	// checkBare handles expression statements plus go/defer calls, where
+	// every result is dropped.
+	checkBare := func(call *ast.CallExpr) {
+		fn := calleeFunc(p, call)
+		if !errdropTarget(p, fn) {
+			return
+		}
+		if sig, ok := fn.Type().(*types.Signature); ok && len(errResultIndices(sig)) > 0 {
+			report(call, fn, "discarded by a bare call")
+		}
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := st.X.(*ast.CallExpr); ok {
+					checkBare(call)
+				}
+			case *ast.GoStmt:
+				checkBare(st.Call)
+			case *ast.DeferStmt:
+				checkBare(st.Call)
+			case *ast.AssignStmt:
+				checkErrAssign(p, st, report)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkErrAssign flags `_`-assigned error results from target functions,
+// in both the multi-result form (v, _ := f()) and the paired form
+// (_ = f(), or a, _ = g(), f()).
+func checkErrAssign(p *Package, as *ast.AssignStmt, report func(*ast.CallExpr, *types.Func, string)) {
+	isBlank := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "_"
+	}
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fn := calleeFunc(p, call)
+		if !errdropTarget(p, fn) {
+			return
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			return
+		}
+		for _, i := range errResultIndices(sig) {
+			if i < len(as.Lhs) && isBlank(as.Lhs[i]) {
+				report(call, fn, "assigned to _")
+			}
+		}
+		return
+	}
+	if len(as.Rhs) != len(as.Lhs) {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || !isBlank(as.Lhs[i]) {
+			continue
+		}
+		fn := calleeFunc(p, call)
+		if !errdropTarget(p, fn) {
+			continue
+		}
+		if sig, ok := fn.Type().(*types.Signature); ok && len(errResultIndices(sig)) > 0 {
+			report(call, fn, "assigned to _")
+		}
+	}
+}

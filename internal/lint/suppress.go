@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"strings"
+)
+
+// A suppression silences findings of one analyzer on the comment's own
+// line and on the line immediately below it (so it can ride at the end of
+// the offending line or stand alone above it).
+type suppression struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+type suppressionSet map[suppression]bool
+
+func (s suppressionSet) covers(f Finding) bool {
+	return s[suppression{f.Pos.Filename, f.Pos.Line, f.Analyzer}] ||
+		s[suppression{f.Pos.Filename, f.Pos.Line - 1, f.Analyzer}]
+}
+
+// collectSuppressions scans every comment in the package for
+// //eslurmlint:ignore directives. A directive must name a known analyzer
+// and give a non-empty reason; anything else is reported as a finding of
+// the pseudo-analyzer "suppress" so typos cannot silently disable the
+// gate. The harness-only //eslurmlint:testpath directive is tolerated.
+func collectSuppressions(p *Package, known map[string]bool) (suppressionSet, []Finding) {
+	sups := make(suppressionSet)
+	var malformed []Finding
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, "eslurmlint:")
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					malformed = append(malformed, Finding{pos, "suppress", "empty eslurmlint directive"})
+					continue
+				}
+				switch fields[0] {
+				case "ignore":
+					if len(fields) < 2 || !known[fields[1]] {
+						malformed = append(malformed, Finding{pos, "suppress",
+							"eslurmlint:ignore must name a known analyzer (" + strings.Join(AnalyzerNames(), ", ") + ")"})
+						continue
+					}
+					if len(fields) < 3 {
+						malformed = append(malformed, Finding{pos, "suppress",
+							"eslurmlint:ignore " + fields[1] + " needs a reason explaining why the site is safe"})
+						continue
+					}
+					sups[suppression{pos.Filename, pos.Line, fields[1]}] = true
+				case "testpath":
+					// Harness-only package-path override; inert in production runs.
+				default:
+					malformed = append(malformed, Finding{pos, "suppress",
+						"unknown eslurmlint directive " + fields[0]})
+				}
+			}
+		}
+	}
+	return sups, malformed
+}
+
+// testPathOverride returns the //eslurmlint:testpath value, if any. The
+// golden-file harness uses it to exercise path-scoped rules (walltime's
+// internal-only scope, detrand's simnet exemption) from testdata packages
+// whose real paths all live under internal/lint/testdata.
+func testPathOverride(p *Package) (string, bool) {
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if rest, ok := strings.CutPrefix(text, "eslurmlint:testpath"); ok {
+					return strings.TrimSpace(rest), true
+				}
+			}
+		}
+	}
+	return "", false
+}

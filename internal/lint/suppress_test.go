@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseOnly builds a Package with syntax but no type info — enough for
+// the suppression scanner, which never touches types.
+func parseOnly(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{ImportPath: "eslurm/internal/x", Fset: fset, Files: []*ast.File{f}}
+}
+
+var knownAnalyzers = map[string]bool{
+	"walltime": true, "detrand": true, "maporder": true, "errdrop": true,
+}
+
+func TestSuppressionCoversSameAndNextLine(t *testing.T) {
+	p := parseOnly(t, `package x
+
+func f() {
+	//eslurmlint:ignore detrand fixture stream, never reaches the simulation
+	_ = 1
+	_ = 2 //eslurmlint:ignore walltime decorative timestamp
+}
+`)
+	sups, malformed := collectSuppressions(p, knownAnalyzers)
+	if len(malformed) != 0 {
+		t.Fatalf("unexpected malformed findings: %v", malformed)
+	}
+	mk := func(line int, analyzer string) Finding {
+		f := Finding{Analyzer: analyzer}
+		f.Pos.Filename = "x.go"
+		f.Pos.Line = line
+		return f
+	}
+	// Directive on line 4: covers lines 4 and 5 for detrand only.
+	for _, tc := range []struct {
+		f    Finding
+		want bool
+	}{
+		{mk(4, "detrand"), true},
+		{mk(5, "detrand"), true},
+		{mk(6, "detrand"), false},
+		{mk(5, "walltime"), false}, // wrong analyzer
+		{mk(6, "walltime"), true},  // same-line form
+		{mk(7, "walltime"), true},  // line-below form
+		{mk(3, "detrand"), false},  // directives never reach upward
+	} {
+		if got := sups.covers(tc.f); got != tc.want {
+			t.Errorf("covers(%s line %d) = %v, want %v", tc.f.Analyzer, tc.f.Pos.Line, got, tc.want)
+		}
+	}
+}
+
+func TestSuppressionMalformed(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantMsg string
+	}{
+		{"//eslurmlint:ignore detrand", "needs a reason"},
+		{"//eslurmlint:ignore", "must name a known analyzer"},
+		{"//eslurmlint:ignore nosuchpass too clever", "must name a known analyzer"},
+		{"//eslurmlint:disable detrand whatever", "unknown eslurmlint directive"},
+		{"//eslurmlint:", "empty eslurmlint directive"},
+	}
+	for _, tc := range cases {
+		p := parseOnly(t, "package x\n\n"+tc.src+"\nfunc f() {}\n")
+		sups, malformed := collectSuppressions(p, knownAnalyzers)
+		if len(sups) != 0 {
+			t.Errorf("%q: malformed directive still registered a suppression", tc.src)
+		}
+		if len(malformed) != 1 {
+			t.Errorf("%q: got %d malformed findings, want 1", tc.src, len(malformed))
+			continue
+		}
+		if f := malformed[0]; f.Analyzer != "suppress" || !strings.Contains(f.Message, tc.wantMsg) {
+			t.Errorf("%q: finding %q does not mention %q", tc.src, f.Message, tc.wantMsg)
+		}
+	}
+}
+
+func TestSuppressionTestpathTolerated(t *testing.T) {
+	p := parseOnly(t, "//eslurmlint:testpath eslurm/cmd/x\npackage x\n")
+	_, malformed := collectSuppressions(p, knownAnalyzers)
+	if len(malformed) != 0 {
+		t.Fatalf("testpath directive reported as malformed: %v", malformed)
+	}
+	if got, ok := testPathOverride(p); !ok || got != "eslurm/cmd/x" {
+		t.Fatalf("testPathOverride = %q, %v", got, ok)
+	}
+}
+
+// TestRunReportsMalformedSuppressions checks the pipeline surfaces parser
+// findings even with no analyzers enabled.
+func TestRunReportsMalformedSuppressions(t *testing.T) {
+	p := parseOnly(t, "package x\n\n//eslurmlint:ignore detrand\nfunc f() {}\n")
+	got := Run([]*Package{p}, nil)
+	if len(got) != 1 || got[0].Analyzer != "suppress" {
+		t.Fatalf("Run = %v, want one suppress finding", got)
+	}
+}

@@ -1,0 +1,16 @@
+// Package detrand_bad draws from the global math/rand generator and
+// bakes a constant seed into a source — both forbidden.
+package detrand_bad
+
+import "math/rand"
+
+func Bad(n int) int {
+	rand.Seed(99)                      // want "global math/rand generator"
+	x := rand.Intn(n)                  // want "global math/rand generator"
+	f := rand.Float64()                // want "global math/rand generator"
+	rand.Shuffle(n, func(i, j int) {}) // want "global math/rand generator"
+	r := rand.New(rand.NewSource(42))  // want "constant seed"
+	// Method calls on a threaded *rand.Rand share names with the global
+	// functions and must NOT be flagged.
+	return x + r.Intn(n) + int(f)
+}

@@ -1,0 +1,16 @@
+// Package detrand_good threads all randomness through explicitly seeded
+// *rand.Rand values — the sanctioned pattern.
+package detrand_good
+
+import "math/rand"
+
+// NewStream threads a caller-provided seed; the seed expression is a
+// variable, not a constant, so detrand stays silent.
+func NewStream(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func Draw(r *rand.Rand, n int) int {
+	r.Shuffle(n, func(i, j int) {})
+	return r.Intn(n)
+}

@@ -1,0 +1,22 @@
+// Package errdrop_bad discards errors from the parse/encode boundary in
+// every shape the analyzer covers: blank assignment, bare call, and
+// go/defer calls.
+package errdrop_bad
+
+import (
+	"strings"
+
+	"eslurm/internal/config"
+	"eslurm/internal/hostlist"
+	"eslurm/internal/proto"
+)
+
+func Bad(expr string, b []byte) []string {
+	hosts, _ := hostlist.Expand(expr)   // want "error from hostlist.Expand is assigned to _"
+	config.Parse(strings.NewReader("")) // want "error from config.Parse is discarded by a bare call"
+	var hb proto.Heartbeat
+	hb.Unmarshal(b)                                            // want "error from proto.Unmarshal is discarded by a bare call"
+	_ = hostlist.Each(expr, func(string) bool { return true }) // want "error from hostlist.Each is assigned to _"
+	defer hb.Unmarshal(b)                                      // want "error from proto.Unmarshal is discarded by a bare call"
+	return hosts
+}

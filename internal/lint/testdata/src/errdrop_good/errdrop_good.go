@@ -1,0 +1,28 @@
+// Package errdrop_good checks (or deliberately, audibly suppresses)
+// every boundary error, so the analyzer must stay silent.
+package errdrop_good
+
+import (
+	"strings"
+
+	"eslurm/internal/config"
+	"eslurm/internal/hostlist"
+)
+
+func Good(expr string) ([]string, error) {
+	hosts, err := hostlist.Expand(expr)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := config.Parse(strings.NewReader("")); err != nil {
+		return nil, err
+	}
+	// Non-boundary functions may drop results freely; strings is not a
+	// target package.
+	strings.TrimSpace(expr)
+
+	//eslurmlint:ignore errdrop capacity probe: a malformed expr yields count 0, which is the value we want
+	n, _ := hostlist.Count(expr)
+	_ = n
+	return hosts, nil
+}

@@ -1,0 +1,43 @@
+// Package maporder_good shows the compliant patterns: the sorted-keys
+// idiom and pure aggregation, neither of which may be flagged.
+package maporder_good
+
+import (
+	"sort"
+	"time"
+
+	"eslurm/internal/simnet"
+)
+
+// SortedKeys is the sanctioned idiom: collect, then sort in the same
+// block before anything order-sensitive happens.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// ScheduleSorted drives the event-carrying calls from the sorted slice,
+// not the map, so registration order is deterministic.
+func ScheduleSorted(e *simnet.Engine, m map[string]func()) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		e.After(time.Second, m[k])
+	}
+}
+
+// Sum only aggregates with a commutative operation; order cannot leak.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

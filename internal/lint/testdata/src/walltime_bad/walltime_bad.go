@@ -1,0 +1,12 @@
+// Package walltime_bad exercises every banned wall-clock call. Its real
+// path sits under internal/, so the walltime rule applies.
+package walltime_bad
+
+import "time"
+
+func Bad() time.Duration {
+	t0 := time.Now()             // want "time.Now reads the wall clock"
+	time.Sleep(time.Millisecond) // want "time.Sleep"
+	<-time.After(time.Second)    // want "time.After"
+	return time.Since(t0)        // want "time.Since"
+}

@@ -1,0 +1,18 @@
+// Package walltime_good is compliant: it manipulates virtual time as
+// plain durations and never touches the wall clock.
+package walltime_good
+
+import "time"
+
+// Clock mirrors the simnet.Engine virtual-clock surface.
+type Clock interface {
+	Now() time.Duration
+}
+
+func Elapsed(c Clock, started time.Duration) time.Duration {
+	return c.Now() - started
+}
+
+func Deadline(c Clock, budget time.Duration) time.Duration {
+	return c.Now() + budget
+}

@@ -1,0 +1,15 @@
+// Package walltime_suppressed exercises the suppression comment: the
+// wall-clock read below is acknowledged and silenced with a reason, both
+// in the line-above form and the same-line form.
+package walltime_suppressed
+
+import "time"
+
+func Banner() time.Time {
+	//eslurmlint:ignore walltime one-shot startup banner, runs before the event loop starts
+	return time.Now()
+}
+
+func Stamp() time.Time {
+	return time.Now() //eslurmlint:ignore walltime log decoration only, never feeds the simulation
+}

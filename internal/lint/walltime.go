@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WalltimeAnalyzer forbids reading or waiting on the wall clock anywhere
+// under internal/. Simulated components live in virtual time: the current
+// instant is simnet.Engine.Now and delays are Engine.After/Every. A single
+// time.Now() inside the simulation perturbs event ordering between runs
+// and breaks seed-reproducibility. cmd/ is exempt so benchmark drivers can
+// measure real elapsed time.
+var WalltimeAnalyzer = &Analyzer{
+	Name: "walltime",
+	Doc:  "forbid time.Now/Sleep/After/Since under internal/ (virtual clock only)",
+	Run:  runWalltime,
+}
+
+var walltimeBanned = map[string]string{
+	"Now":   "use the simnet.Engine virtual clock (Engine.Now)",
+	"Sleep": "schedule a continuation with Engine.After instead of blocking",
+	"After": "use Engine.After to schedule in virtual time",
+	"Since": "subtract Engine.Now values instead of wall-clock instants",
+}
+
+func runWalltime(p *Package) []Finding {
+	if !underInternal(p.ImportPath) {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			hint, banned := walltimeBanned[fn.Name()]
+			if !banned {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:      p.Fset.Position(sel.Pos()),
+				Analyzer: "walltime",
+				Message:  "time." + fn.Name() + " reads the wall clock inside the simulation core; " + hint,
+			})
+			return true
+		})
+	}
+	return out
+}

@@ -76,6 +76,7 @@ type Engine struct {
 	seed      int64
 	processed uint64
 	stopped   bool
+	observer  func(at time.Duration, seq uint64)
 }
 
 // NewEngine returns an engine at virtual time zero. The seed roots every RNG
@@ -161,6 +162,9 @@ func (e *Engine) Step() bool {
 		}
 		e.now = ev.at
 		e.processed++
+		if e.observer != nil {
+			e.observer(ev.at, ev.seq)
+		}
 		ev.fn()
 		return true
 	}
@@ -195,6 +199,13 @@ func (e *Engine) RunUntil(deadline time.Duration) {
 
 // Stop makes Run/RunUntil return after the current event completes.
 func (e *Engine) Stop() { e.stopped = true }
+
+// Observe registers fn to be invoked just before each event executes,
+// with the event's virtual time and sequence number. The (at, seq) stream
+// is the engine's complete execution trace, so hashing it gives a cheap
+// digest for determinism audits: two runs of the same seed must produce
+// identical streams. One observer at a time; pass nil to clear.
+func (e *Engine) Observe(fn func(at time.Duration, seq uint64)) { e.observer = fn }
 
 // Rand returns a deterministic RNG stream derived from the engine seed and a
 // label. Equal (seed, label) pairs always yield identical streams, so adding

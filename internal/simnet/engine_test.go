@@ -265,3 +265,32 @@ func BenchmarkEngineThroughput(b *testing.B) {
 		e.Step()
 	}
 }
+
+// Observe must see every executed event, in execution order, with
+// nondecreasing times — and never see cancelled events.
+func TestObserve(t *testing.T) {
+	e := NewEngine(7)
+	var seen []uint64
+	var last time.Duration
+	e.Observe(func(at time.Duration, seq uint64) {
+		if at < last {
+			t.Errorf("observer saw time go backwards: %v after %v", at, last)
+		}
+		last = at
+		seen = append(seen, seq)
+	})
+	e.After(2*time.Millisecond, func() {})
+	cancelled := e.After(time.Millisecond, func() {})
+	cancelled.Cancel()
+	e.After(3*time.Millisecond, func() {})
+	e.Run()
+	if len(seen) != 2 {
+		t.Fatalf("observer saw %d events, want 2 (cancelled event must be invisible)", len(seen))
+	}
+	if uint64(len(seen)) != e.Processed() {
+		t.Errorf("observer count %d != Processed %d", len(seen), e.Processed())
+	}
+	e.Observe(nil) // clearing must not panic on the next event
+	e.After(time.Millisecond, func() {})
+	e.Run()
+}
