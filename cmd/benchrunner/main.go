@@ -2,30 +2,43 @@
 // simulated reproduction. Each experiment prints the same rows/series the
 // paper reports (see DESIGN.md §3 for the experiment index).
 //
+// Experiments are independent simulations, so they execute on a worker
+// pool (-parallel, default GOMAXPROCS); tables are still printed to
+// stdout in registry order, byte-identical to a serial run. Progress and
+// timing go to stderr so stdout stays a stable artifact.
+//
 // Usage:
 //
 //	benchrunner -list                 # show available experiments
 //	benchrunner -exp fig8b            # run one experiment (quick preset)
 //	benchrunner -exp fig10 -paper     # run at the paper's full scale
 //	benchrunner -all                  # run every experiment
+//	benchrunner -all -parallel 4      # ...on exactly 4 workers
+//	benchrunner -all -json            # ...and write BENCH_quick.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"testing"
 	"time"
 
 	"eslurm/internal/experiment"
+	"eslurm/internal/simnet/benchkit"
 )
 
 func main() {
 	var (
-		expID  = flag.String("exp", "", "experiment ID to run (see -list)")
-		all    = flag.Bool("all", false, "run every experiment")
-		paper  = flag.Bool("paper", false, "use the paper-scale preset (slow: full node counts)")
-		list   = flag.Bool("list", false, "list available experiments")
-		csvDir = flag.String("csv", "", "also write the Fig. 7/9 time-series CSVs into this directory")
+		expID    = flag.String("exp", "", "experiment ID to run (see -list)")
+		all      = flag.Bool("all", false, "run every experiment")
+		paper    = flag.Bool("paper", false, "use the paper-scale preset (slow: full node counts)")
+		list     = flag.Bool("list", false, "list available experiments")
+		csvDir   = flag.String("csv", "", "also write the Fig. 7/9 time-series CSVs into this directory")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "experiment worker-pool size (tables always print in registry order)")
+		jsonOut  = flag.Bool("json", false, "write a BENCH_<preset>.json perf record (suite stats + kernel microbench)")
 	)
 	flag.Parse()
 
@@ -41,20 +54,11 @@ func main() {
 	preset := "quick"
 	if *paper {
 		params = experiment.PaperParams()
-		preset = "paper-scale"
-	}
-
-	run := func(s experiment.Spec) {
-		start := time.Now()
-		fmt.Printf("-- running %s (%s, %s preset)\n", s.ID, s.Artifact, preset)
-		for _, tb := range s.Run(params) {
-			tb.Fprint(os.Stdout)
-		}
-		fmt.Printf("-- %s done in %s\n\n", s.ID, time.Since(start).Round(time.Millisecond))
+		preset = "paper"
 	}
 
 	if *csvDir != "" {
-		fmt.Printf("-- writing figure time series to %s\n", *csvDir)
+		fmt.Fprintf(os.Stderr, "-- writing figure time series to %s\n", *csvDir)
 		if err := experiment.WriteFigureSeries(*csvDir, params); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -64,20 +68,140 @@ func main() {
 		}
 	}
 
+	var specs []experiment.Spec
 	switch {
 	case *all:
-		for _, s := range experiment.Registry() {
-			run(s)
-		}
+		specs = experiment.Registry()
 	case *expID != "":
 		s, ok := experiment.Lookup(*expID)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *expID)
 			os.Exit(1)
 		}
-		run(s)
+		specs = []experiment.Spec{s}
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	fmt.Fprintf(os.Stderr, "-- %d experiment(s), %s preset, %d worker(s)\n", len(specs), preset, *parallel)
+	suiteStart := time.Now()
+	results := experiment.RunConcurrent(specs, params, *parallel, func(r experiment.Result) {
+		fmt.Fprintf(os.Stderr, "-- %s (%s) done in %s: %d events, %.0f events/s\n",
+			r.Spec.ID, r.Spec.Artifact, r.Wall.Round(time.Millisecond), r.Events, r.EventsPerSec())
+		for _, tb := range r.Tables {
+			tb.Fprint(os.Stdout)
+		}
+	})
+	suiteWall := time.Since(suiteStart)
+	fmt.Fprintf(os.Stderr, "-- suite done in %s\n", suiteWall.Round(time.Millisecond))
+
+	if *jsonOut {
+		path := "BENCH_" + preset + ".json"
+		if err := writePerfRecord(path, preset, *parallel, suiteWall, results); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "-- wrote %s\n", path)
+	}
+}
+
+// A perfRecord is the benchmark trajectory the repo commits per preset:
+// regenerate with `go run ./cmd/benchrunner -all -json [-paper]` and
+// compare against the committed BENCH_<preset>.json (see the
+// "Performance" section of DESIGN.md).
+type perfRecord struct {
+	Preset       string       `json:"preset"`
+	Parallel     int          `json:"parallel"`
+	GoVersion    string       `json:"go_version"`
+	GOOS         string       `json:"goos"`
+	GOARCH       string       `json:"goarch"`
+	NumCPU       int          `json:"num_cpu"`
+	SuiteWallMS  float64      `json:"suite_wall_ms"`
+	TotalEvents  uint64       `json:"total_events"`
+	EventsPerSec float64      `json:"events_per_sec"`
+	Experiments  []expRecord  `json:"experiments"`
+	Kernel       []benchEntry `json:"kernel_microbench"`
+}
+
+type expRecord struct {
+	ID           string  `json:"id"`
+	Artifact     string  `json:"artifact"`
+	WallMS       float64 `json:"wall_ms"`
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+type benchEntry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// Seed* record the same benchmark measured on the pre-optimization
+	// kernel (commit 1aa33b8: container/heap + per-event allocation +
+	// unmemoized Rand) on the reference machine, so the record carries
+	// the seed-vs-optimized trajectory.
+	SeedNsPerOp     float64 `json:"seed_ns_per_op"`
+	SeedAllocsPerOp int64   `json:"seed_allocs_per_op"`
+	SeedBytesPerOp  int64   `json:"seed_bytes_per_op"`
+}
+
+// seedKernelBaseline is the reference measurement of the pre-optimization
+// kernel (Intel Xeon 2.10GHz, go1.24, linux/amd64, -benchtime=2s):
+// ns/op, allocs/op, B/op.
+var seedKernelBaseline = map[string][3]float64{
+	"EngineStep":           {218.8, 1, 48},
+	"EngineScheduleCancel": {124.1, 2, 96},
+	"EngineRand":           {12543, 4, 5448},
+}
+
+func writePerfRecord(path, preset string, parallel int, suiteWall time.Duration, results []experiment.Result) error {
+	rec := perfRecord{
+		Preset:      preset,
+		Parallel:    parallel,
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		SuiteWallMS: float64(suiteWall.Microseconds()) / 1e3,
+	}
+	for _, r := range results {
+		rec.TotalEvents += r.Events
+		rec.Experiments = append(rec.Experiments, expRecord{
+			ID:           r.Spec.ID,
+			Artifact:     r.Spec.Artifact,
+			WallMS:       float64(r.Wall.Microseconds()) / 1e3,
+			Events:       r.Events,
+			EventsPerSec: r.EventsPerSec(),
+		})
+	}
+	if suiteWall > 0 {
+		rec.EventsPerSec = float64(rec.TotalEvents) / suiteWall.Seconds()
+	}
+	fmt.Fprintln(os.Stderr, "-- running kernel microbenchmarks")
+	for _, kb := range []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"EngineStep", benchkit.Step},
+		{"EngineScheduleCancel", benchkit.ScheduleCancel},
+		{"EngineRand", benchkit.Rand},
+	} {
+		br := testing.Benchmark(kb.fn)
+		seed := seedKernelBaseline[kb.name]
+		rec.Kernel = append(rec.Kernel, benchEntry{
+			Name:            kb.name,
+			NsPerOp:         float64(br.T.Nanoseconds()) / float64(br.N),
+			AllocsPerOp:     br.AllocsPerOp(),
+			BytesPerOp:      br.AllocedBytesPerOp(),
+			SeedNsPerOp:     seed[0],
+			SeedAllocsPerOp: int64(seed[1]),
+			SeedBytesPerOp:  int64(seed[2]),
+		})
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

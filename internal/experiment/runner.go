@@ -1,0 +1,96 @@
+package experiment
+
+// Cross-simulation parallelism. The simnet kernel is single-threaded by
+// contract ("parallelism belongs across independent simulations, never
+// inside one"); this runner is the sanctioned form of that parallelism:
+// each Spec.Run call is an independent simulation tree with its own
+// engines and seeds, so a worker pool can execute many of them
+// concurrently while the emitted output stays byte-identical to a serial
+// run — results are surfaced strictly in registry order.
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"eslurm/internal/simnet"
+)
+
+// Result is one experiment's tables plus the harness-side performance
+// stats benchrunner reports and records in BENCH_<preset>.json.
+type Result struct {
+	Spec   Spec
+	Tables []*Table
+	// Wall is host elapsed time for the Spec.Run call (not virtual time).
+	Wall time.Duration
+	// Events is the number of simulation events executed across every
+	// engine the experiment created (see simnet.CountEvents).
+	Events uint64
+}
+
+// EventsPerSec returns the experiment's simulation throughput in events
+// per host second, the kernel-limited figure of merit for the suite.
+func (r Result) EventsPerSec() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.Events) / r.Wall.Seconds()
+}
+
+// RunConcurrent executes the specs against p on a pool of parallel
+// workers (parallel < 1 means GOMAXPROCS). Experiments run concurrently
+// in work-stealing order, but emit — when non-nil — is invoked exactly
+// once per spec, in specs order, from the calling goroutine, as soon as
+// the ordered prefix is complete. The returned slice is indexed like
+// specs. Output built solely from emit order is therefore byte-identical
+// for every parallel setting: the determinism contract across the pool.
+func RunConcurrent(specs []Spec, p Params, parallel int, emit func(Result)) []Result {
+	if parallel < 1 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	if parallel > len(specs) {
+		parallel = len(specs)
+	}
+	results := make([]Result, len(specs))
+	done := make([]chan struct{}, len(specs))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	work := make(chan int, len(specs))
+	for i := range specs {
+		work <- i
+	}
+	close(work)
+
+	var wg sync.WaitGroup
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				results[i] = runOne(specs[i], p)
+				close(done[i])
+			}
+		}()
+	}
+	for i := range specs {
+		<-done[i]
+		if emit != nil {
+			emit(results[i])
+		}
+	}
+	wg.Wait()
+	return results
+}
+
+// runOne executes a single spec, timing it and accounting the events its
+// engines processed.
+func runOne(s Spec, p Params) Result {
+	//eslurmlint:ignore walltime benchmark harness measures host elapsed time, not simulated time
+	start := time.Now()
+	var tables []*Table
+	events := simnet.CountEvents(func() { tables = s.Run(p) })
+	//eslurmlint:ignore walltime benchmark harness measures host elapsed time, not simulated time
+	wall := time.Since(start)
+	return Result{Spec: s, Tables: tables, Wall: wall, Events: events}
+}

@@ -1,0 +1,184 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// EvallocAnalyzer flags per-event closures that capture loop variables in
+// the simulation core's hot paths. Scheduling a func literal from inside
+// a loop allocates a fresh closure (and a capture cell per variable) on
+// every iteration — in drivers that schedule tens of thousands of events
+// this is a measurable slice of the kernel's allocation budget, and the
+// capture is also the classic source of iteration-aliasing surprises.
+// The fix is either to hoist the callback out of the loop or to bind an
+// explicit per-iteration copy (`x := x`), which both silences the
+// analyzer and documents the intent.
+//
+// Scope: internal/ packages only (cmd/ and examples/ favor clarity), and
+// only callbacks handed to the simnet Engine's scheduling entry points
+// (Schedule, After, Every), matched by method name and receiver type
+// name so the rule keeps working on testdata fakes and future engine
+// wrappers.
+var EvallocAnalyzer = &Analyzer{
+	Name: "evalloc",
+	Doc:  "flag per-event closures capturing loop variables in internal/ hot paths",
+	Run:  runEvalloc,
+}
+
+// evallocSchedulers are the Engine methods whose func arguments become
+// per-event callbacks.
+var evallocSchedulers = map[string]bool{
+	"Schedule": true, "After": true, "Every": true,
+}
+
+func runEvalloc(p *Package) []Finding {
+	if !underInternal(p.ImportPath) {
+		return nil
+	}
+	w := &evallocWalker{p: p, loopVars: make(map[*types.Var]bool)}
+	for _, f := range p.Files {
+		w.walk(f)
+	}
+	return w.out
+}
+
+// evallocWalker descends the AST tracking which variables were declared
+// by an enclosing for/range clause, and reports scheduler calls whose
+// func literal arguments use any of them.
+type evallocWalker struct {
+	p        *Package
+	loopVars map[*types.Var]bool
+	out      []Finding
+}
+
+func (w *evallocWalker) walk(n ast.Node) {
+	if n == nil {
+		return
+	}
+	switch s := n.(type) {
+	case *ast.RangeStmt:
+		w.walk(s.X)
+		added := w.define(s.Key, s.Value)
+		w.walk(s.Body)
+		w.undefine(added)
+		return
+	case *ast.ForStmt:
+		var added []*types.Var
+		if init, ok := s.Init.(*ast.AssignStmt); ok {
+			added = w.define(init.Lhs...)
+		}
+		if s.Init != nil {
+			w.walk(s.Init)
+		}
+		if s.Cond != nil {
+			w.walk(s.Cond)
+		}
+		if s.Post != nil {
+			w.walk(s.Post)
+		}
+		w.walk(s.Body)
+		w.undefine(added)
+		return
+	case *ast.CallExpr:
+		if len(w.loopVars) > 0 && w.isScheduler(s) {
+			for _, arg := range s.Args {
+				lit, ok := arg.(*ast.FuncLit)
+				if !ok {
+					continue
+				}
+				if v := w.captured(lit); v != nil {
+					w.out = append(w.out, Finding{
+						Pos:      w.p.Fset.Position(lit.Pos()),
+						Analyzer: "evalloc",
+						Message: "per-event closure captures loop variable " + v.Name() +
+							"; each iteration allocates a fresh closure in the event hot path — hoist the callback or bind a copy (" +
+							v.Name() + " := " + v.Name() + ")",
+					})
+				}
+			}
+		}
+	}
+	for _, c := range children(n) {
+		w.walk(c)
+	}
+}
+
+// define records the *types.Var objects the given expressions declare,
+// returning the newly tracked ones so the caller can undefine them when
+// the loop's scope ends.
+func (w *evallocWalker) define(exprs ...ast.Expr) []*types.Var {
+	var added []*types.Var
+	for _, e := range exprs {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if v, ok := w.p.Info.Defs[id].(*types.Var); ok && v != nil && !w.loopVars[v] {
+			w.loopVars[v] = true
+			added = append(added, v)
+		}
+	}
+	return added
+}
+
+func (w *evallocWalker) undefine(vars []*types.Var) {
+	for _, v := range vars {
+		delete(w.loopVars, v)
+	}
+}
+
+// isScheduler reports whether the call invokes a scheduling method
+// (Schedule/After/Every) on a type named Engine.
+func (w *evallocWalker) isScheduler(call *ast.CallExpr) bool {
+	fn := calleeFunc(w.p, call)
+	if fn == nil || !evallocSchedulers[fn.Name()] {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	rt := sig.Recv().Type()
+	if ptr, ok := rt.(*types.Pointer); ok {
+		rt = ptr.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	return ok && named.Obj().Name() == "Engine"
+}
+
+// captured returns the first tracked loop variable the func literal's
+// body uses, in source order, or nil.
+func (w *evallocWalker) captured(lit *ast.FuncLit) *types.Var {
+	var found *types.Var
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v, ok := w.p.Info.Uses[id].(*types.Var); ok && w.loopVars[v] {
+			found = v
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// children returns a node's immediate AST children.
+func children(n ast.Node) []ast.Node {
+	var out []ast.Node
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == n {
+			return true
+		}
+		if c != nil {
+			out = append(out, c)
+		}
+		return false
+	})
+	return out
+}

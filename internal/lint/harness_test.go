@@ -166,6 +166,12 @@ func TestErrdrop(t *testing.T) {
 	runCase(t, "errdrop_good", ErrdropAnalyzer)
 }
 
+func TestEvalloc(t *testing.T) {
+	runCase(t, "evalloc_bad", EvallocAnalyzer)
+	runCase(t, "evalloc_good", EvallocAnalyzer)
+	runCase(t, "evalloc_suppressed", EvallocAnalyzer)
+}
+
 // TestRunOnRealTree is the self-hosting check: the whole module must lint
 // clean, so a regression anywhere fails the lint package's own tests even
 // before CI runs the CLI.
@@ -195,7 +201,7 @@ func TestFindingString(t *testing.T) {
 	if got, want := f.String(), "a/b.go:7: [detrand] msg"; got != want {
 		t.Fatalf("String() = %q, want %q", got, want)
 	}
-	if fmt.Sprint(len(Analyzers())) != "4" {
-		t.Fatalf("expected 4 analyzers, got %d", len(Analyzers()))
+	if fmt.Sprint(len(Analyzers())) != "5" {
+		t.Fatalf("expected 5 analyzers, got %d", len(Analyzers()))
 	}
 }

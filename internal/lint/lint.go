@@ -5,9 +5,10 @@
 // is bit-for-bit reproducible: same seed ⇒ same event ordering ⇒ same
 // utilization/slowdown/AEA numbers. A single stray wall-clock read, global
 // RNG call, or order-sensitive map iteration silently corrupts every
-// downstream table. The four analyzers here (walltime, detrand, maporder,
-// errdrop) turn that contract into a merge gate; see each analyzer's Doc
-// for the precise rule.
+// downstream table. The five analyzers here (walltime, detrand, maporder,
+// errdrop, evalloc) turn that contract — and the kernel hot path's
+// allocation budget — into a merge gate; see each analyzer's Doc for the
+// precise rule.
 //
 // The driver is built from the standard library only (go/ast, go/token,
 // go/types, go/importer) — no external module dependencies — so the lint
@@ -67,7 +68,7 @@ type Analyzer struct {
 
 // Analyzers returns the full eslurmlint rule set in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{WalltimeAnalyzer, DetrandAnalyzer, MaporderAnalyzer, ErrdropAnalyzer}
+	return []*Analyzer{WalltimeAnalyzer, DetrandAnalyzer, MaporderAnalyzer, ErrdropAnalyzer, EvallocAnalyzer}
 }
 
 // AnalyzerNames returns the names of every registered analyzer.

@@ -1,0 +1,50 @@
+//eslurmlint:testpath eslurm/internal/evalloc_bad
+
+// Package evalloc_bad schedules per-event closures that capture loop
+// variables inside an internal/ package; every site must fire.
+package evalloc_bad
+
+import "time"
+
+// Engine mimics the simnet scheduling surface; evalloc matches by method
+// name and receiver type name.
+type Engine struct{}
+
+func (e *Engine) Schedule(at time.Duration, fn func()) {}
+func (e *Engine) After(d time.Duration, fn func())     {}
+func (e *Engine) Every(p time.Duration, fn func())     {}
+
+func RangeCapture(e *Engine, jobs []int) {
+	for i, j := range jobs {
+		e.Schedule(time.Duration(i), func() { _ = j }) // want "captures loop variable j"
+	}
+}
+
+func ForClauseCapture(e *Engine) {
+	for k := 0; k < 10; k++ {
+		e.After(time.Second, func() { _ = k }) // want "captures loop variable k"
+	}
+}
+
+func EveryCapture(e *Engine, names []string) {
+	for _, name := range names {
+		e.Every(time.Minute, func() { println(name) }) // want "captures loop variable name"
+	}
+}
+
+func NestedLitCapture(e *Engine, jobs []int) {
+	for _, j := range jobs {
+		e.After(time.Second, func() { // want "captures loop variable j"
+			fn := func() { _ = j }
+			fn()
+		})
+	}
+}
+
+func NestedLoopOuterCapture(e *Engine, rows [][]int) {
+	for _, row := range rows {
+		for range row {
+			e.Schedule(0, func() { _ = row }) // want "captures loop variable row"
+		}
+	}
+}

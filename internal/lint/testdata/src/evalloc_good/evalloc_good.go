@@ -1,0 +1,61 @@
+//eslurmlint:testpath eslurm/internal/evalloc_good
+
+// Package evalloc_good exercises every compliant shape: explicit copies,
+// hoisted callbacks, scheduling outside loops, loops inside the callback,
+// non-Engine receivers, and cmd/-style packages (via the sibling case's
+// path scoping). None of these may fire.
+package evalloc_good
+
+import "time"
+
+type Engine struct{}
+
+func (e *Engine) Schedule(at time.Duration, fn func()) {}
+func (e *Engine) After(d time.Duration, fn func())     {}
+func (e *Engine) Every(p time.Duration, fn func())     {}
+
+// Pool is not an Engine; its scheduling namesakes are out of scope.
+type Pool struct{}
+
+func (p *Pool) Schedule(at time.Duration, fn func()) {}
+
+func ExplicitCopy(e *Engine, jobs []int) {
+	for i, j := range jobs {
+		i, j := i, j
+		e.Schedule(time.Duration(i), func() { _ = j })
+	}
+}
+
+func Hoisted(e *Engine) {
+	n := 0
+	tick := func() { n++ }
+	for k := 0; k < 10; k++ {
+		e.After(time.Second, tick)
+	}
+}
+
+func OutsideLoop(e *Engine, total int) {
+	e.After(time.Second, func() { _ = total })
+}
+
+func LoopInsideCallback(e *Engine, jobs []int) {
+	e.After(time.Second, func() {
+		sum := 0
+		for _, j := range jobs {
+			sum += j
+		}
+	})
+}
+
+func NonEngineReceiver(p *Pool, jobs []int) {
+	for _, j := range jobs {
+		p.Schedule(time.Second, func() { _ = j })
+	}
+}
+
+func CapturesNonLoopVar(e *Engine, jobs []int) {
+	total := len(jobs)
+	for range jobs {
+		e.After(time.Second, func() { _ = total })
+	}
+}

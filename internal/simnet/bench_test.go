@@ -1,0 +1,16 @@
+package simnet_test
+
+// The kernel microbenchmark bodies live in benchkit so benchrunner's
+// -json mode can run the very same code; see that package for what each
+// one measures. CI smoke-runs these (`-bench=BenchmarkEngine
+// -benchtime=1x`) so they cannot bit-rot.
+
+import (
+	"testing"
+
+	"eslurm/internal/simnet/benchkit"
+)
+
+func BenchmarkEngineStep(b *testing.B)           { benchkit.Step(b) }
+func BenchmarkEngineScheduleCancel(b *testing.B) { benchkit.ScheduleCancel(b) }
+func BenchmarkEngineRand(b *testing.B)           { benchkit.Rand(b) }

@@ -1,0 +1,55 @@
+// Package benchkit hosts the simnet kernel microbenchmark bodies in a
+// form both `go test -bench` (internal/simnet's bench file) and
+// benchrunner's -json perf record can execute, so the numbers committed
+// in BENCH_<preset>.json are produced by exactly the benchmarks CI
+// smoke-runs.
+package benchkit
+
+import (
+	"testing"
+	"time"
+
+	"eslurm/internal/simnet"
+)
+
+// Step is the steady-state schedule→fire round trip against a 1K-event
+// backlog — the regime every experiment driver puts the kernel in.
+func Step(b *testing.B) {
+	e := simnet.NewEngine(1)
+	nop := func() {}
+	const backlog = 1024
+	for i := 0; i < backlog; i++ {
+		e.Schedule(time.Duration(i)*time.Millisecond, nop)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(backlog*time.Millisecond, nop)
+		e.Step()
+	}
+}
+
+// ScheduleCancel is the schedule+cancel churn that Ticker-heavy
+// components (monitors, heartbeats, retry timers) generate.
+func ScheduleCancel(b *testing.B) {
+	e := simnet.NewEngine(2)
+	nop := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		doomed := e.After(time.Millisecond, nop)
+		e.After(2*time.Millisecond, nop)
+		doomed.Cancel()
+		e.Step()
+	}
+}
+
+// Rand is the per-call cost of looking up a labelled RNG stream.
+func Rand(b *testing.B) {
+	e := simnet.NewEngine(3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = e.Rand("bench/label")
+	}
+}

@@ -8,24 +8,43 @@
 // The kernel is intentionally small: an event heap ordered by (time, seq),
 // cancellable events, periodic timers, and labelled deterministic RNG
 // streams. It is single-threaded by design; parallelism belongs across
-// independent simulations, never inside one.
+// independent simulations, never inside one (see CountEvents and the
+// experiment package's worker pool for the sanctioned cross-simulation
+// form).
+//
+// # Hot-path data structures
+//
+// The event queue is a hand-rolled 4-ary min-heap over a slice of
+// (time, seq, event) entries: comparisons read the ordering key straight
+// from the slice (one cache line covers a whole sibling group) and nothing
+// passes through an interface, so Push/Pop never box. Fired and cancelled
+// events are returned to a free list and reused, so steady-state
+// scheduling does not allocate; when more than half the heap is cancelled
+// events awaiting their pop (Ticker-heavy workloads), the heap is
+// compacted in place. Neither change is observable in the (time, seq)
+// execution order: cancelled events never fire and the heap order is a
+// total order, so every heap shape pops the same sequence.
 package simnet
 
 import (
-	"container/heap"
 	"fmt"
-	"hash/fnv"
 	"math/rand"
+	"strconv"
 	"time"
 )
 
 // Event is a scheduled callback in virtual time. Events are one-shot; use
 // Engine.Every for periodic work.
+//
+// The kernel pools Event values: once an event has fired, its handle is
+// dead and must not be retained — the object may already describe a later
+// event. Holding a handle to cancel a still-pending event is always safe.
 type Event struct {
 	at       time.Duration
 	seq      uint64
 	fn       func()
-	index    int // position in heap, -1 once popped or cancelled
+	e        *Engine
+	index    int // position in heap; -1 once popped or collected
 	canceled bool
 }
 
@@ -34,46 +53,49 @@ func (e *Event) At() time.Duration { return e.at }
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
 // already-cancelled event is a no-op.
-func (e *Event) Cancel() { e.canceled = true }
+func (e *Event) Cancel() {
+	if e.canceled || e.index < 0 {
+		return
+	}
+	e.canceled = true
+	eng := e.e
+	eng.canceled++
+	// Ticker-heavy workloads cancel far more events than they fire; once
+	// the majority of heap slots are dead weight, rebuild without them.
+	if eng.canceled*2 > len(eng.events) && len(eng.events) >= compactMin {
+		eng.compact()
+	}
+}
 
-// Canceled reports whether Cancel was called.
+// Canceled reports whether Cancel was called before the event fired.
 func (e *Event) Canceled() bool { return e.canceled }
 
-type eventHeap []*Event
+// heapEntry carries an event's ordering key inline so heap comparisons
+// never chase the event pointer.
+type heapEntry struct {
+	at  time.Duration
+	seq uint64
+	ev  *Event
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
-}
+// compactMin is the heap size below which compaction is not worth it: the
+// regular pop-and-skip path reclaims small heaps quickly enough.
+const compactMin = 64
+
+// eventBlock is how many pooled events are allocated at once when the
+// free list runs dry; block allocation amortizes steady-state scheduling
+// to zero allocations per event.
+const eventBlock = 64
 
 // Engine is a single-threaded discrete-event simulator.
 type Engine struct {
 	now       time.Duration
 	seq       uint64
-	events    eventHeap
+	events    []heapEntry // 4-ary min-heap ordered by (at, seq)
+	canceled  int         // cancelled events still occupying heap slots
+	free      []*Event    // pool of dead events awaiting reuse
 	seed      int64
+	rands     map[string]*rand.Rand
 	processed uint64
 	stopped   bool
 	observer  func(at time.Duration, seq uint64)
@@ -82,7 +104,9 @@ type Engine struct {
 // NewEngine returns an engine at virtual time zero. The seed roots every RNG
 // stream derived via Rand, making whole simulations reproducible.
 func NewEngine(seed int64) *Engine {
-	return &Engine{seed: seed}
+	e := &Engine{seed: seed}
+	recordEngine(e)
+	return e
 }
 
 // Now returns the current virtual time.
@@ -91,9 +115,128 @@ func (e *Engine) Now() time.Duration { return e.now }
 // Processed returns the number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }
 
-// Pending returns the number of events still scheduled (including cancelled
-// events not yet drained from the heap).
-func (e *Engine) Pending() int { return len(e.events) }
+// Pending returns the number of live events still scheduled. Cancelled
+// events awaiting collection are not counted.
+func (e *Engine) Pending() int { return len(e.events) - e.canceled }
+
+// less reports whether heap entry i orders before entry j under the
+// (time, seq) total order.
+func (e *Engine) less(i, j int) bool {
+	a, b := &e.events[i], &e.events[j]
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+}
+
+// siftUp restores the heap property from slot i toward the root.
+func (e *Engine) siftUp(i int) {
+	h := e.events
+	ent := h[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if h[p].at < ent.at || (h[p].at == ent.at && h[p].seq < ent.seq) {
+			break
+		}
+		h[i] = h[p]
+		h[i].ev.index = i
+		i = p
+	}
+	h[i] = ent
+	ent.ev.index = i
+}
+
+// siftDown restores the heap property from slot i toward the leaves.
+func (e *Engine) siftDown(i int) {
+	h := e.events
+	n := len(h)
+	ent := h[i]
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if h[j].at < h[m].at || (h[j].at == h[m].at && h[j].seq < h[m].seq) {
+				m = j
+			}
+		}
+		if ent.at < h[m].at || (ent.at == h[m].at && ent.seq < h[m].seq) {
+			break
+		}
+		h[i] = h[m]
+		h[i].ev.index = i
+		i = m
+	}
+	h[i] = ent
+	ent.ev.index = i
+}
+
+// popMin removes and returns the heap's earliest event.
+func (e *Engine) popMin() *Event {
+	ev := e.events[0].ev
+	n := len(e.events) - 1
+	e.events[0] = e.events[n]
+	e.events[n] = heapEntry{}
+	e.events = e.events[:n]
+	if n > 0 {
+		e.siftDown(0)
+	}
+	ev.index = -1
+	return ev
+}
+
+// compact rebuilds the heap without its cancelled entries, returning the
+// dead events to the pool. Invisible to execution order: the surviving
+// entries pop in the same (time, seq) sequence from any valid heap shape.
+func (e *Engine) compact() {
+	live := e.events[:0]
+	for _, ent := range e.events {
+		if ent.ev.canceled {
+			e.recycle(ent.ev)
+			continue
+		}
+		live = append(live, ent)
+	}
+	for i := len(live); i < len(e.events); i++ {
+		e.events[i] = heapEntry{}
+	}
+	e.events = live
+	e.canceled = 0
+	for i := range e.events {
+		e.events[i].ev.index = i
+	}
+	for i := (len(e.events) - 2) / 4; i >= 0; i-- {
+		e.siftDown(i)
+	}
+}
+
+// recycle returns a dead event to the pool.
+func (e *Engine) recycle(ev *Event) {
+	ev.fn = nil
+	ev.index = -1
+	e.free = append(e.free, ev)
+}
+
+// newEvent takes an event from the pool, refilling it a block at a time.
+func (e *Engine) newEvent() *Event {
+	if len(e.free) == 0 {
+		block := make([]Event, eventBlock)
+		for i := range block {
+			block[i].e = e
+			block[i].index = -1
+			e.free = append(e.free, &block[i])
+		}
+	}
+	n := len(e.free) - 1
+	ev := e.free[n]
+	e.free[n] = nil
+	e.free = e.free[:n]
+	ev.canceled = false
+	return ev
+}
 
 // Schedule runs fn at absolute virtual time t. Scheduling in the past (t <
 // Now) panics: it would silently reorder causality.
@@ -102,8 +245,10 @@ func (e *Engine) Schedule(t time.Duration, fn func()) *Event {
 		panic(fmt.Sprintf("simnet: scheduling event at %v before now %v", t, e.now))
 	}
 	e.seq++
-	ev := &Event{at: t, seq: e.seq, fn: fn}
-	heap.Push(&e.events, ev)
+	ev := e.newEvent()
+	ev.at, ev.seq, ev.fn = t, e.seq, fn
+	e.events = append(e.events, heapEntry{t, e.seq, ev})
+	e.siftUp(len(e.events) - 1)
 	return ev
 }
 
@@ -128,6 +273,7 @@ func (t *Ticker) Stop() {
 	t.stopped = true
 	if t.current != nil {
 		t.current.Cancel()
+		t.current = nil
 	}
 }
 
@@ -140,6 +286,9 @@ func (e *Engine) Every(period time.Duration, fn func()) *Ticker {
 	t := &Ticker{}
 	var tick func()
 	tick = func() {
+		// The occurrence now firing is a dead handle; drop it so Stop
+		// never cancels a pooled (possibly reused) event.
+		t.current = nil
 		if t.stopped {
 			return
 		}
@@ -156,8 +305,10 @@ func (e *Engine) Every(period time.Duration, fn func()) *Ticker {
 // runnable event remains.
 func (e *Engine) Step() bool {
 	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*Event)
+		ev := e.popMin()
 		if ev.canceled {
+			e.canceled--
+			e.recycle(ev)
 			continue
 		}
 		e.now = ev.at
@@ -165,7 +316,12 @@ func (e *Engine) Step() bool {
 		if e.observer != nil {
 			e.observer(ev.at, ev.seq)
 		}
-		ev.fn()
+		fn := ev.fn
+		ev.fn = nil
+		fn()
+		// Recycle only after fn returns: user code may run inside fn while
+		// the handle is still the live in-flight event.
+		e.recycle(ev)
 		return true
 	}
 	return false
@@ -183,10 +339,15 @@ func (e *Engine) Run() {
 func (e *Engine) RunUntil(deadline time.Duration) {
 	e.stopped = false
 	for !e.stopped {
+		// Collect cancelled events at the root so the deadline peek sees
+		// the next event that will actually fire.
+		for len(e.events) > 0 && e.events[0].ev.canceled {
+			e.canceled--
+			e.recycle(e.popMin())
+		}
 		if len(e.events) == 0 {
 			break
 		}
-		// Peek: heap root is the earliest event.
 		if e.events[0].at > deadline {
 			break
 		}
@@ -208,10 +369,45 @@ func (e *Engine) Stop() { e.stopped = true }
 func (e *Engine) Observe(fn func(at time.Duration, seq uint64)) { e.observer = fn }
 
 // Rand returns a deterministic RNG stream derived from the engine seed and a
-// label. Equal (seed, label) pairs always yield identical streams, so adding
-// a new consumer with its own label never perturbs existing ones.
+// label. Equal (seed, label) pairs always yield identically-seeded streams,
+// so adding a new consumer with its own label never perturbs existing ones.
+//
+// Streams are memoized per label: repeated calls with the same label on the
+// same engine return the same stream object (continuing where it left off)
+// rather than re-deriving a fresh one, so a label names one logical stream
+// per engine and repeat lookups cost a map hit instead of a 5KB re-seed.
 func (e *Engine) Rand(label string) *rand.Rand {
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%d/%s", e.seed, label)
-	return rand.New(rand.NewSource(int64(h.Sum64())))
+	if r, ok := e.rands[label]; ok {
+		return r
+	}
+	r := rand.New(rand.NewSource(deriveSeed(e.seed, label)))
+	if e.rands == nil {
+		e.rands = make(map[string]*rand.Rand)
+	}
+	e.rands[label] = r
+	return r
+}
+
+// deriveSeed hashes (seed, label) into a stream seed: FNV-1a over the
+// decimal seed, a '/', and the label — bit-compatible with the original
+// fmt.Fprintf(fnv.New64a(), "%d/%s", seed, label) derivation, without the
+// hasher and boxing allocations.
+func deriveSeed(seed int64, label string) int64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	var buf [20]byte
+	for _, b := range strconv.AppendInt(buf[:0], seed, 10) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	h ^= '/'
+	h *= prime64
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= prime64
+	}
+	return int64(h)
 }

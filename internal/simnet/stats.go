@@ -1,0 +1,94 @@
+package simnet
+
+// Goroutine-scoped engine accounting for the benchmark harness.
+//
+// Experiment drivers construct their engines internally, so a runner that
+// wants events-executed totals per experiment has no handle to sum
+// Engine.Processed over. CountEvents closes that gap without threading a
+// sink through every driver signature: it tags the calling goroutine,
+// records every Engine that goroutine creates while fn runs, and sums
+// their processed counts when fn returns. The kernel is single-threaded
+// by design, so "engines created by this goroutine" is exactly "engines
+// this experiment ran" — engines created on goroutines fn spawns are not
+// attributed (and spawning goroutines inside a simulation is against the
+// determinism contract anyway).
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	// collectorCount gates the NewEngine hook: when zero (the common
+	// case — no CountEvents in flight anywhere), engine construction
+	// pays one atomic load and nothing else.
+	collectorCount atomic.Int32
+	collectors     sync.Map // goroutine id -> *collector
+)
+
+type collector struct {
+	parent  *collector
+	engines []*Engine
+}
+
+// CountEvents runs fn and returns the total number of events executed by
+// every Engine created by fn on the calling goroutine. Nested calls are
+// allowed; an inner call's engines count toward the outer call too.
+func CountEvents(fn func()) uint64 {
+	id := goid()
+	var parent *collector
+	if v, ok := collectors.Load(id); ok {
+		parent = v.(*collector)
+	}
+	c := &collector{parent: parent}
+	collectors.Store(id, c)
+	collectorCount.Add(1)
+	defer func() {
+		if parent != nil {
+			collectors.Store(id, parent)
+		} else {
+			collectors.Delete(id)
+		}
+		collectorCount.Add(-1)
+	}()
+	fn()
+	var total uint64
+	for _, e := range c.engines {
+		total += e.Processed()
+	}
+	return total
+}
+
+// recordEngine attributes a freshly built engine to the calling
+// goroutine's collector chain, if any.
+func recordEngine(e *Engine) {
+	if collectorCount.Load() == 0 {
+		return
+	}
+	v, ok := collectors.Load(goid())
+	if !ok {
+		return
+	}
+	for c := v.(*collector); c != nil; c = c.parent {
+		c.engines = append(c.engines, e)
+	}
+}
+
+// goid returns the runtime's id for the calling goroutine, parsed from
+// the "goroutine N [...]" header of a one-frame stack dump. The dump is
+// only taken while a CountEvents call is in flight, and engine
+// construction is far off any hot path.
+func goid() uint64 {
+	var buf [32]byte
+	n := runtime.Stack(buf[:], false)
+	const prefix = len("goroutine ")
+	var id uint64
+	for _, b := range buf[prefix:n] {
+		if b < '0' || b > '9' {
+			break
+		}
+		id = id*10 + uint64(b-'0')
+	}
+	return id
+}
