@@ -1,0 +1,6 @@
+//go:build race
+
+package experiment
+
+// raceEnabled lets tests budget for the race detector's ~5-10× slowdown.
+const raceEnabled = true

@@ -70,6 +70,13 @@ func TestRunConcurrentMatchesSerialQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs the full quick-preset suite twice")
 	}
+	if raceEnabled {
+		// Two full quick-preset suite runs exceed the race detector's
+		// 5-10× slowdown budget (the package would blow go test's default
+		// 10-minute timeout). The pool's race coverage comes from
+		// TestRunConcurrentMatchesSerial over the fast registry.
+		t.Skip("quick-preset double run is too slow under -race")
+	}
 	specs := Registry()
 	p := QuickParams()
 	serial := renderEmitted(specs, p, 1)

@@ -19,11 +19,14 @@
 // from the slice (one cache line covers a whole sibling group) and nothing
 // passes through an interface, so Push/Pop never box. Fired and cancelled
 // events are returned to a free list and reused, so steady-state
-// scheduling does not allocate; when more than half the heap is cancelled
-// events awaiting their pop (Ticker-heavy workloads), the heap is
-// compacted in place. Neither change is observable in the (time, seq)
-// execution order: cancelled events never fire and the heap order is a
-// total order, so every heap shape pops the same sequence.
+// scheduling does not allocate; the Event handles callers hold are
+// generation-stamped, so a handle retained past its event's death can
+// never cancel or observe the slot's next occupant. When more than half
+// the heap is cancelled events awaiting their pop (Ticker-heavy
+// workloads), the heap is compacted in place. Neither change is
+// observable in the (time, seq) execution order: cancelled events never
+// fire and the heap order is a total order, so every heap shape pops the
+// same sequence.
 package simnet
 
 import (
@@ -33,32 +36,46 @@ import (
 	"time"
 )
 
-// Event is a scheduled callback in virtual time. Events are one-shot; use
-// Engine.Every for periodic work.
-//
-// The kernel pools Event values: once an event has fired, its handle is
-// dead and must not be retained — the object may already describe a later
-// event. Holding a handle to cancel a still-pending event is always safe.
-type Event struct {
+// event is the pooled kernel object behind an Event handle. It is reused
+// across many scheduled callbacks; gen counts the reuses so stale handles
+// can be told apart from live ones.
+type event struct {
 	at       time.Duration
 	seq      uint64
+	gen      uint64 // bumped each time the object is taken from the pool
 	fn       func()
 	e        *Engine
 	index    int // position in heap; -1 once popped or collected
 	canceled bool
 }
 
-// At returns the virtual time the event is scheduled for.
-func (e *Event) At() time.Duration { return e.at }
+// Event is a handle to a scheduled callback in virtual time. Events are
+// one-shot; use Engine.Every for periodic work.
+//
+// Handles are generation-checked values: the kernel pools the underlying
+// objects, but a handle retained after its event fired (or was cancelled
+// and collected) goes inert rather than aliasing a later event — Cancel
+// becomes a no-op and Canceled reports false once the pooled object has
+// been reused. Canceled reports true for a cancelled event at least until
+// its object is reused for a new one. The zero Event is valid and inert.
+type Event struct {
+	ev  *event
+	gen uint64
+	at  time.Duration
+}
 
-// Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op.
-func (e *Event) Cancel() {
-	if e.canceled || e.index < 0 {
+// At returns the virtual time the event was scheduled for.
+func (h Event) At() time.Duration { return h.at }
+
+// Cancel prevents the event from firing. Cancelling an already-fired,
+// already-cancelled, or zero handle is a no-op.
+func (h Event) Cancel() {
+	ev := h.ev
+	if ev == nil || ev.gen != h.gen || ev.canceled || ev.index < 0 {
 		return
 	}
-	e.canceled = true
-	eng := e.e
+	ev.canceled = true
+	eng := ev.e
 	eng.canceled++
 	// Ticker-heavy workloads cancel far more events than they fire; once
 	// the majority of heap slots are dead weight, rebuild without them.
@@ -67,15 +84,26 @@ func (e *Event) Cancel() {
 	}
 }
 
-// Canceled reports whether Cancel was called before the event fired.
-func (e *Event) Canceled() bool { return e.canceled }
+// Canceled reports whether Cancel was called before the event fired. Once
+// the pooled object behind a dead handle is reused for a later event,
+// Canceled reports false regardless of how the original event ended.
+func (h Event) Canceled() bool {
+	return h.ev != nil && h.ev.gen == h.gen && h.ev.canceled
+}
 
 // heapEntry carries an event's ordering key inline so heap comparisons
 // never chase the event pointer.
 type heapEntry struct {
 	at  time.Duration
 	seq uint64
-	ev  *Event
+	ev  *event
+}
+
+// entryBefore reports whether entry a orders before entry b under the
+// (time, seq) total order. It is the heap's single ordering predicate;
+// the compiler inlines it into the sift loops.
+func entryBefore(a, b *heapEntry) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
 }
 
 // compactMin is the heap size below which compaction is not worth it: the
@@ -93,7 +121,7 @@ type Engine struct {
 	seq       uint64
 	events    []heapEntry // 4-ary min-heap ordered by (at, seq)
 	canceled  int         // cancelled events still occupying heap slots
-	free      []*Event    // pool of dead events awaiting reuse
+	free      []*event    // pool of dead events awaiting reuse
 	seed      int64
 	rands     map[string]*rand.Rand
 	processed uint64
@@ -119,20 +147,13 @@ func (e *Engine) Processed() uint64 { return e.processed }
 // events awaiting collection are not counted.
 func (e *Engine) Pending() int { return len(e.events) - e.canceled }
 
-// less reports whether heap entry i orders before entry j under the
-// (time, seq) total order.
-func (e *Engine) less(i, j int) bool {
-	a, b := &e.events[i], &e.events[j]
-	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
-}
-
 // siftUp restores the heap property from slot i toward the root.
 func (e *Engine) siftUp(i int) {
 	h := e.events
 	ent := h[i]
 	for i > 0 {
 		p := (i - 1) / 4
-		if h[p].at < ent.at || (h[p].at == ent.at && h[p].seq < ent.seq) {
+		if entryBefore(&h[p], &ent) {
 			break
 		}
 		h[i] = h[p]
@@ -159,11 +180,11 @@ func (e *Engine) siftDown(i int) {
 			end = n
 		}
 		for j := c + 1; j < end; j++ {
-			if h[j].at < h[m].at || (h[j].at == h[m].at && h[j].seq < h[m].seq) {
+			if entryBefore(&h[j], &h[m]) {
 				m = j
 			}
 		}
-		if ent.at < h[m].at || (ent.at == h[m].at && ent.seq < h[m].seq) {
+		if entryBefore(&ent, &h[m]) {
 			break
 		}
 		h[i] = h[m]
@@ -175,7 +196,7 @@ func (e *Engine) siftDown(i int) {
 }
 
 // popMin removes and returns the heap's earliest event.
-func (e *Engine) popMin() *Event {
+func (e *Engine) popMin() *event {
 	ev := e.events[0].ev
 	n := len(e.events) - 1
 	e.events[0] = e.events[n]
@@ -208,22 +229,31 @@ func (e *Engine) compact() {
 	for i := range e.events {
 		e.events[i].ev.index = i
 	}
-	for i := (len(e.events) - 2) / 4; i >= 0; i-- {
-		e.siftDown(i)
+	// Heapify only when two or more entries survive: (n-2)/4 truncates to
+	// zero for n of 0 or 1, and siftDown(0) on an empty heap would read
+	// past the slice (a single survivor is trivially a heap).
+	if n := len(e.events); n > 1 {
+		for i := (n - 2) / 4; i >= 0; i-- {
+			e.siftDown(i)
+		}
 	}
 }
 
-// recycle returns a dead event to the pool.
-func (e *Engine) recycle(ev *Event) {
+// recycle returns a dead event to the pool. The canceled flag is left as
+// is so dead handles keep answering Canceled truthfully until the object
+// is reused (newEvent resets it).
+func (e *Engine) recycle(ev *event) {
 	ev.fn = nil
 	ev.index = -1
 	e.free = append(e.free, ev)
 }
 
 // newEvent takes an event from the pool, refilling it a block at a time.
-func (e *Engine) newEvent() *Event {
+// Bumping gen here is what retires every handle to the object's previous
+// life.
+func (e *Engine) newEvent() *event {
 	if len(e.free) == 0 {
-		block := make([]Event, eventBlock)
+		block := make([]event, eventBlock)
 		for i := range block {
 			block[i].e = e
 			block[i].index = -1
@@ -234,13 +264,14 @@ func (e *Engine) newEvent() *Event {
 	ev := e.free[n]
 	e.free[n] = nil
 	e.free = e.free[:n]
+	ev.gen++
 	ev.canceled = false
 	return ev
 }
 
 // Schedule runs fn at absolute virtual time t. Scheduling in the past (t <
 // Now) panics: it would silently reorder causality.
-func (e *Engine) Schedule(t time.Duration, fn func()) *Event {
+func (e *Engine) Schedule(t time.Duration, fn func()) Event {
 	if t < e.now {
 		panic(fmt.Sprintf("simnet: scheduling event at %v before now %v", t, e.now))
 	}
@@ -249,12 +280,12 @@ func (e *Engine) Schedule(t time.Duration, fn func()) *Event {
 	ev.at, ev.seq, ev.fn = t, e.seq, fn
 	e.events = append(e.events, heapEntry{t, e.seq, ev})
 	e.siftUp(len(e.events) - 1)
-	return ev
+	return Event{ev: ev, gen: ev.gen, at: t}
 }
 
 // After runs fn d after the current virtual time. Negative d is clamped to
 // zero so callers may subtract without guarding.
-func (e *Engine) After(d time.Duration, fn func()) *Event {
+func (e *Engine) After(d time.Duration, fn func()) Event {
 	if d < 0 {
 		d = 0
 	}
@@ -264,17 +295,15 @@ func (e *Engine) After(d time.Duration, fn func()) *Event {
 // Ticker is a handle to a periodic task registered with Every.
 type Ticker struct {
 	stopped bool
-	current *Event
+	current Event
 }
 
 // Stop halts the periodic task. The in-flight occurrence (if any) is
-// cancelled too.
+// cancelled too; generation checking makes the cancel inert when the
+// occurrence has already fired, so stopping twice is safe.
 func (t *Ticker) Stop() {
 	t.stopped = true
-	if t.current != nil {
-		t.current.Cancel()
-		t.current = nil
-	}
+	t.current.Cancel()
 }
 
 // Every runs fn every period, the first invocation after one period. A
@@ -286,9 +315,6 @@ func (e *Engine) Every(period time.Duration, fn func()) *Ticker {
 	t := &Ticker{}
 	var tick func()
 	tick = func() {
-		// The occurrence now firing is a dead handle; drop it so Stop
-		// never cancels a pooled (possibly reused) event.
-		t.current = nil
 		if t.stopped {
 			return
 		}
@@ -376,6 +402,7 @@ func (e *Engine) Observe(fn func(at time.Duration, seq uint64)) { e.observer = f
 // same engine return the same stream object (continuing where it left off)
 // rather than re-deriving a fresh one, so a label names one logical stream
 // per engine and repeat lookups cost a map hit instead of a 5KB re-seed.
+// Callers that need a restarted stream must use a distinct label.
 func (e *Engine) Rand(label string) *rand.Rand {
 	if r, ok := e.rands[label]; ok {
 		return r

@@ -17,7 +17,7 @@ import (
 // cancelled events awaiting collection are invisible.
 func TestPendingCountsLiveOnly(t *testing.T) {
 	e := NewEngine(1)
-	var evs []*Event
+	var evs []Event
 	for i := 0; i < 10; i++ {
 		evs = append(evs, e.Schedule(time.Duration(i+1)*time.Second, func() {}))
 	}
@@ -48,7 +48,7 @@ func TestPendingCountsLiveOnly(t *testing.T) {
 func TestCompaction(t *testing.T) {
 	e := NewEngine(2)
 	const n = 4 * compactMin
-	var evs []*Event
+	var evs []Event
 	for i := 0; i < n; i++ {
 		i := i
 		evs = append(evs, e.Schedule(time.Duration(i+1)*time.Millisecond, func() { _ = i }))
@@ -82,7 +82,7 @@ func TestCompactionPreservesOrder(t *testing.T) {
 			e := NewEngine(9)
 			h := fnv.New64a()
 			e.Observe(func(at time.Duration, seq uint64) { fmt.Fprintf(h, "%d;", int64(at)) })
-			var doomed []*Event
+			var doomed []Event
 			for i, d := range delays {
 				at := time.Duration(d) * time.Millisecond
 				cancel := i < len(cancelMask) && cancelMask[i]
@@ -109,6 +109,76 @@ func TestCompactionPreservesOrder(t *testing.T) {
 	}
 }
 
+// TestCompactAllCancelled drives compaction into the zero-survivor case:
+// 63 cancels stay below compactMin, and cancelling a 64th event tips
+// canceled*2 > len with no live entries left. The heapify loop must not
+// touch the now-empty slice, and the engine must keep working after.
+func TestCompactAllCancelled(t *testing.T) {
+	e := NewEngine(11)
+	var evs []Event
+	for i := 0; i < compactMin-1; i++ {
+		evs = append(evs, e.Schedule(time.Duration(i+1)*time.Second, func() {}))
+	}
+	for _, ev := range evs {
+		ev.Cancel()
+	}
+	e.Schedule(time.Duration(compactMin)*time.Second, func() {}).Cancel()
+	if len(e.events) != 0 {
+		t.Fatalf("heap holds %d entries after compacting an all-cancelled heap, want 0", len(e.events))
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", e.Pending())
+	}
+	fired := false
+	e.Schedule(time.Minute, func() { fired = true })
+	e.Run()
+	if !fired {
+		t.Error("engine unusable after empty-heap compaction")
+	}
+}
+
+// TestStaleHandleIsInert pins the generation contract: once an event has
+// fired and its pooled object is reused, the old handle's Cancel must not
+// touch the new event and Canceled must not report its state.
+func TestStaleHandleIsInert(t *testing.T) {
+	e := NewEngine(12)
+	a := e.After(time.Second, func() {})
+	e.Run()
+	fired := false
+	b := e.After(time.Second, func() { fired = true })
+	if b.ev != a.ev {
+		t.Fatal("test setup: pool did not hand the fired event's object to the next Schedule")
+	}
+	a.Cancel() // stale: a's event already fired and was recycled
+	if a.Canceled() {
+		t.Error("stale handle reports the reused event's state")
+	}
+	e.Run()
+	if !fired {
+		t.Error("stale Cancel cancelled an unrelated reused event")
+	}
+}
+
+// TestCanceledSurvivesCollection: a cancelled event keeps reporting
+// Canceled()==true after the heap collects its object into the pool, and
+// stops (reports false) only once the object is reused for a new event.
+func TestCanceledSurvivesCollection(t *testing.T) {
+	e := NewEngine(13)
+	ev := e.Schedule(time.Second, func() {})
+	ev.Cancel()
+	e.Run() // pops and collects the cancelled event into the pool
+	if !ev.Canceled() {
+		t.Error("Canceled lost the cancellation when the object was collected")
+	}
+	reused := e.After(time.Second, func() {})
+	if reused.ev != ev.ev {
+		t.Fatal("test setup: pool did not hand the cancelled event's object to the next Schedule")
+	}
+	if ev.Canceled() {
+		t.Error("Canceled reports the state of an unrelated reused event")
+	}
+}
+
 // TestEventReuse checks the free list actually recycles: a long-running
 // schedule-fire chain must not grow the pool beyond one block.
 func TestEventReuse(t *testing.T) {
@@ -131,10 +201,10 @@ func TestEventReuse(t *testing.T) {
 	}
 }
 
-// TestTickerStopTwice pins the pooled-kernel hazard that motivated the
-// Ticker.current hygiene: stopping a ticker twice (or stopping it after
-// its event fired and the slot was reused) must never cancel an innocent
-// event.
+// TestTickerStopTwice pins the pooled-kernel hazard that motivated
+// generation-checked handles: stopping a ticker twice (or stopping it
+// after its event fired and the slot was reused) must never cancel an
+// innocent event.
 func TestTickerStopTwice(t *testing.T) {
 	e := NewEngine(4)
 	ticks := 0
@@ -159,7 +229,7 @@ func TestTickerStopTwice(t *testing.T) {
 // not corrupt the live-event accounting.
 func TestCancelInFlightIsNoop(t *testing.T) {
 	e := NewEngine(5)
-	var self *Event
+	var self Event
 	self = e.Schedule(time.Second, func() {
 		self.Cancel() // already popped; must be a no-op
 	})
