@@ -1,0 +1,174 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"eslurm/internal/cluster"
+	"eslurm/internal/comm"
+	"eslurm/internal/core"
+	"eslurm/internal/monitor"
+	"eslurm/internal/satellite"
+	"eslurm/internal/simnet"
+)
+
+// pinCfg is the small, fast configuration whose report digest is pinned:
+// adversities cranked well above the defaults so loss, duplication,
+// retries, partitions and satellite kills all fire even at this scale.
+func pinCfg() Config {
+	cfg := Config{
+		Seeds:      2,
+		Computes:   128,
+		Satellites: 2,
+		Span:       5 * time.Minute,
+		Broadcasts: 8,
+	}
+	cfg = cfg.withDefaults()
+	cfg.LossProb = 0.02
+	cfg.DupProb = 0.02
+	cfg.SilentFraction = 0.25
+	return cfg
+}
+
+// pinnedDigest is the report digest for pinCfg. It changes only when the
+// simulation's event schedule changes — which is exactly what it is here
+// to detect: the soak must be bit-deterministic, and incidental changes
+// to the fault layer must be noticed, not slip through.
+const pinnedDigest = "d04e6949b2a4aa77"
+
+func TestSoakDeterministicDigest(t *testing.T) {
+	a := Soak(pinCfg())
+	b := Soak(pinCfg())
+	if a.String() != b.String() {
+		t.Fatalf("same config produced different reports:\n%s\n---\n%s", a.String(), b.String())
+	}
+	if v := a.Violations(); v != 0 {
+		t.Fatalf("pinned config has %d violations:\n%s", v, a.String())
+	}
+	if got := a.Digest(); got != pinnedDigest {
+		t.Errorf("report digest = %s, pinned %s; if the event schedule changed intentionally, update pinnedDigest\n%s",
+			got, pinnedDigest, a.String())
+	}
+	if !strings.Contains(a.String(), "digest="+pinnedDigest) {
+		t.Errorf("rendered report does not carry its digest")
+	}
+}
+
+// TestSoakDefaultMixAtScale is the acceptance run: the default campaign
+// mix at ≥1,024 nodes must hold every invariant. Under the race detector
+// the seed count shrinks to stay inside CI's budget.
+func TestSoakDefaultMixAtScale(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Computes < 1024 {
+		t.Fatalf("default soak runs at %d < 1024 computes", cfg.Computes)
+	}
+	if raceEnabled || testing.Short() {
+		cfg.Seeds = 2
+	}
+	rep := Soak(cfg)
+	if v := rep.Violations(); v != 0 {
+		t.Fatalf("%d invariant violations at scale:\n%s", v, rep.String())
+	}
+	for _, s := range rep.Seeds {
+		if s.Broadcasts != cfg.Broadcasts {
+			t.Errorf("seed %d resolved %d/%d broadcasts", s.Seed, s.Broadcasts, cfg.Broadcasts)
+		}
+		if s.Delivered == 0 {
+			t.Errorf("seed %d delivered nothing", s.Seed)
+		}
+	}
+}
+
+// TestDrainedPoolFallback kills every satellite and asserts the master's
+// graceful-degradation path: the pool census reaches Drained, the monitor
+// observes the demotions through its alert pipeline, and a broadcast with
+// zero running satellites still completes via direct tree broadcast.
+func TestDrainedPoolFallback(t *testing.T) {
+	e := simnet.NewEngine(11)
+	c := cluster.New(e, cluster.Config{Computes: 96, Satellites: 3})
+	mon := monitor.New(c, monitor.Config{})
+	m := core.NewMaster(c, core.DefaultConfig(), nil)
+	m.B.RecordResolved = true
+	mon.ObservePool(m.Pool)
+
+	var poolAlerts []monitor.Alert
+	mon.Subscribe(func(a monitor.Alert) {
+		if a.Indicator == "satellite.pool" {
+			poolAlerts = append(poolAlerts, a)
+		}
+	})
+	var demotions int
+	prev := m.Pool.OnChange
+	m.Pool.OnChange = func(s *satellite.Satellite, from, to satellite.State, h satellite.Health) {
+		if prev != nil {
+			prev(s, from, to, h)
+		}
+		if to == satellite.Fault || to == satellite.Down {
+			demotions++
+		}
+	}
+
+	m.Start()
+	// Kill every satellite shortly after boot, permanently.
+	for _, id := range c.Satellites() {
+		c.ScheduleFailure(id, 5*time.Second, 0)
+	}
+
+	var res *comm.Result
+	// 200s is past the first heartbeat sweep (150s), which marks the dead
+	// satellites FAULT; the pool is then fully drained.
+	e.Schedule(200*time.Second, func() {
+		if !m.Pool.Drained() {
+			t.Errorf("pool not drained before broadcast: %+v", m.PoolHealth())
+		}
+		if r := m.Pool.RunningCount(); r != 0 {
+			t.Errorf("%d satellites still RUNNING", r)
+		}
+		m.Broadcast(c.Computes(), 4096, func(r comm.Result) {
+			res = &r
+		})
+	})
+
+	e.RunUntil(10 * time.Minute)
+	m.Stop()
+	e.Run()
+
+	if res == nil {
+		t.Fatal("broadcast with drained pool never resolved")
+	}
+	if got := res.Delivered + len(res.Unreachable); got != len(c.Computes()) {
+		t.Errorf("partition invariant: delivered %d + unreachable %d != %d targets",
+			res.Delivered, len(res.Unreachable), len(c.Computes()))
+	}
+	if res.Delivered != len(c.Computes()) {
+		t.Errorf("all computes are healthy, yet delivered = %d of %d", res.Delivered, len(c.Computes()))
+	}
+	if st := m.Stats(); st.PoolDrainedFallbacks == 0 {
+		t.Errorf("PoolDrainedFallbacks = 0; fallback path not attributed (stats %+v)", st)
+	}
+	if demotions < 3 {
+		t.Errorf("pool health observer saw %d demotions, want >= 3", demotions)
+	}
+	if len(poolAlerts) < 3 {
+		t.Errorf("monitor saw %d satellite.pool alerts, want >= 3", len(poolAlerts))
+	}
+	h := m.PoolHealth()
+	if !h.Drained() || h.Alive() != 0 {
+		t.Errorf("final pool health not drained: %+v", h)
+	}
+}
+
+// TestSeedReplayMatchesSoak pins the replay story: running one seed alone
+// reproduces exactly the row the full soak computed for it.
+func TestSeedReplayMatchesSoak(t *testing.T) {
+	cfg := pinCfg()
+	rep := Soak(cfg)
+	for _, want := range rep.Seeds {
+		got := RunSeed(cfg, want.Seed)
+		if got.Events != want.Events || got.Delivered != want.Delivered ||
+			got.Unreachable != want.Unreachable || got.Retries != want.Retries {
+			t.Errorf("seed %d replay diverged: got %+v want %+v", want.Seed, got, want)
+		}
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package chaos
+
+// raceEnabled mirrors the experiment package's pattern: expensive soaks
+// shrink under the race detector's 5-10× slowdown to stay inside CI's
+// time budget.
+const raceEnabled = true

@@ -1,0 +1,195 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"eslurm/internal/simnet"
+)
+
+func newNetCluster(t *testing.T, computes int, net NetConfig) *Cluster {
+	t.Helper()
+	e := simnet.NewEngine(13)
+	return New(e, Config{Computes: computes, Satellites: 1, Net: net})
+}
+
+// TestNetConfigZeroTakesDefaults is the regression test for the
+// withDefaults zero-value ambiguity: a zero NetConfig must resolve to the
+// documented calibration, field for field.
+func TestNetConfigZeroTakesDefaults(t *testing.T) {
+	if got, want := (NetConfig{}).withDefaults(), DefaultNetConfig(); got != want {
+		t.Fatalf("NetConfig{}.withDefaults() = %+v, want %+v", got, want)
+	}
+}
+
+// TestNetConfigDisabledSentinel pins the Disabled semantics: a sentinel
+// duration becomes an explicit zero cost instead of silently taking the
+// default, while explicit non-zero values pass through untouched.
+func TestNetConfigDisabledSentinel(t *testing.T) {
+	cfg := NetConfig{
+		ConnectCost:    Disabled,
+		Latency:        Disabled,
+		ConnectTimeout: 2 * time.Second,
+		Jitter:         Disabled,
+		BandwidthBps:   1e9,
+	}.withDefaults()
+	if cfg.ConnectCost != 0 || cfg.Latency != 0 || cfg.Jitter != 0 {
+		t.Errorf("Disabled fields not zeroed: %+v", cfg)
+	}
+	if cfg.ConnectTimeout != 2*time.Second {
+		t.Errorf("explicit ConnectTimeout overridden: %v", cfg.ConnectTimeout)
+	}
+	if cfg.BandwidthBps != 1e9 {
+		t.Errorf("explicit bandwidth overridden: %v", cfg.BandwidthBps)
+	}
+	// Probabilities clamp into [0,1] rather than erroring.
+	p := NetConfig{LossProb: -0.5, DupProb: 1.5}.withDefaults()
+	if p.LossProb != 0 || p.DupProb != 1 {
+		t.Errorf("probability clamp: loss=%v dup=%v", p.LossProb, p.DupProb)
+	}
+}
+
+// TestLossLooksLikeDeadPeer: a lost message costs the sender exactly the
+// connect timeout, indistinguishable from a fail-stopped receiver.
+func TestLossLooksLikeDeadPeer(t *testing.T) {
+	c := newNetCluster(t, 2, NetConfig{LossProb: 1})
+	a, b := c.Computes()[0], c.Computes()[1]
+	delivered := false
+	var failedAt time.Duration
+	c.Net.Send(a, b, 100, func() { delivered = true }, func() { failedAt = c.Engine.Now() })
+	c.Engine.Run()
+	if delivered {
+		t.Fatal("message delivered with LossProb=1")
+	}
+	if failedAt != c.Net.Config().ConnectTimeout {
+		t.Fatalf("loss reported at %v, want the connect timeout %v", failedAt, c.Net.Config().ConnectTimeout)
+	}
+}
+
+// TestDupDeliversTwice: with DupProb=1 the payload lands twice — both the
+// observer and the delivery callback fire twice, which is exactly why
+// receivers (the comm layer's resolved guard) must be idempotent.
+func TestDupDeliversTwice(t *testing.T) {
+	c := newNetCluster(t, 2, NetConfig{DupProb: 1})
+	a, b := c.Computes()[0], c.Computes()[1]
+	arrivals, acks := 0, 0
+	c.Net.OnDeliver(func(from, to NodeID, size int) {
+		if from == a && to == b {
+			arrivals++
+		}
+	})
+	c.Net.Send(a, b, 100, func() { acks++ }, func() { t.Error("send failed") })
+	c.Engine.Run()
+	if arrivals != 2 {
+		t.Errorf("receiver saw %d arrivals, want 2", arrivals)
+	}
+	if acks != 2 {
+		t.Errorf("delivery callback fired %d times, want 2 (receivers dedup)", acks)
+	}
+}
+
+// TestGrayNodeSlowsDelivery: a gray node stays alive but every message
+// touching it is slower by its factor.
+func TestGrayNodeSlowsDelivery(t *testing.T) {
+	timed := func(gray float64) time.Duration {
+		c := newNetCluster(t, 2, NetConfig{Jitter: Disabled})
+		a, b := c.Computes()[0], c.Computes()[1]
+		if gray > 1 {
+			c.Net.SetGray(b, gray)
+		}
+		var at time.Duration
+		c.Net.Send(a, b, 100000, func() { at = c.Engine.Now() }, func() { t.Error("send failed") })
+		c.Engine.Run()
+		if at == 0 {
+			t.Fatal("no delivery")
+		}
+		return at
+	}
+	base, slow := timed(1), timed(4)
+	if slow <= base {
+		t.Fatalf("gray receiver not slower: %v vs %v", slow, base)
+	}
+	c := newNetCluster(t, 2, NetConfig{})
+	c.Net.SetGray(c.Computes()[0], 3)
+	if c.Node(c.Computes()[0]).Failed() {
+		t.Error("gray node reported failed")
+	}
+	c.Net.ClearGray(c.Computes()[0])
+	if c.Net.GrayCount() != 0 {
+		t.Errorf("GrayCount = %d after clear", c.Net.GrayCount())
+	}
+}
+
+// TestLinkDegradeIsDirectional: degrading a→b slows that direction only.
+func TestLinkDegradeIsDirectional(t *testing.T) {
+	c := newNetCluster(t, 2, NetConfig{Jitter: Disabled})
+	a, b := c.Computes()[0], c.Computes()[1]
+	c.Net.SetLinkDegrade(a, b, 8)
+	var fwd, rev time.Duration
+	c.Net.Send(a, b, 100000, func() { fwd = c.Engine.Now() }, func() { t.Error("fwd failed") })
+	c.Engine.Run()
+	start := c.Engine.Now()
+	c.Net.Send(b, a, 100000, func() { rev = c.Engine.Now() - start }, func() { t.Error("rev failed") })
+	c.Engine.Run()
+	if fwd <= rev {
+		t.Fatalf("degraded direction (%v) not slower than clean reverse (%v)", fwd, rev)
+	}
+}
+
+// TestPartitionSeversAndHealsSends: sends across a partition boundary fail
+// like sends to a dead node; members keep talking to each other, and the
+// boundary opens again after heal.
+func TestPartitionSeversAndHealsSends(t *testing.T) {
+	c := newNetCluster(t, 4, NetConfig{})
+	in1, in2, out := c.Computes()[0], c.Computes()[1], c.Computes()[2]
+	c.Net.Partition([]NodeID{in1, in2}, time.Minute)
+
+	okInside, failAcross := false, false
+	c.Net.Send(in1, in2, 100, func() { okInside = true }, func() { t.Error("intra-partition send failed") })
+	c.Net.Send(in1, out, 100, func() { t.Error("cross-partition send delivered") }, func() { failAcross = true })
+	c.Engine.RunUntil(30 * time.Second)
+	if !okInside || !failAcross {
+		t.Fatalf("okInside=%v failAcross=%v", okInside, failAcross)
+	}
+	if c.Node(out).Failed() || c.Node(in1).Failed() {
+		t.Fatal("partition marked a node failed")
+	}
+
+	c.Engine.RunUntil(2 * time.Minute) // heal fires at 1m
+	healed := false
+	c.Net.Send(in1, out, 100, func() { healed = true }, func() { t.Error("send failed after heal") })
+	c.Engine.Run()
+	if !healed {
+		t.Fatal("boundary still severed after heal")
+	}
+	if c.Net.PartitionCount() != 0 {
+		t.Fatalf("PartitionCount = %d after heal", c.Net.PartitionCount())
+	}
+}
+
+// TestDisabledFeaturesDrawNoRandomness: enabling loss/dup must not perturb
+// runs that have them off — the adversarial streams are lazily derived, so
+// a zero-probability config's trace is byte-identical to the seed's
+// baseline.
+func TestDisabledFeaturesDrawNoRandomness(t *testing.T) {
+	trace := func(net NetConfig) []time.Duration {
+		e := simnet.NewEngine(17)
+		c := New(e, Config{Computes: 8, Satellites: 1, Net: net})
+		var at []time.Duration
+		c.Net.OnDeliver(func(from, to NodeID, size int) { at = append(at, e.Now()) })
+		for _, id := range c.Computes() {
+			c.Net.Send(c.Satellites()[0], id, 1000, func() {}, func() {})
+		}
+		e.Run()
+		return at
+	}
+	a, b := trace(NetConfig{}), trace(NetConfig{LossProb: 0, DupProb: 0})
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delivery %d at %v vs %v: zero-probability config changed the trace", i, a[i], b[i])
+		}
+	}
+}

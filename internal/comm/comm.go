@@ -15,6 +15,7 @@
 package comm
 
 import (
+	"math/rand"
 	"time"
 
 	"eslurm/internal/cluster"
@@ -27,6 +28,11 @@ import (
 type Result struct {
 	// Delivered is the number of targets that received the payload.
 	Delivered int
+	// Resolved lists the delivered targets in resolution order. It is
+	// populated only when Broadcaster.RecordResolved is set (the chaos
+	// harness's exactly-once invariant needs identities, not just counts);
+	// otherwise it stays nil and costs nothing.
+	Resolved []cluster.NodeID
 	// Unreachable lists targets that could not be reached after retries.
 	Unreachable []cluster.NodeID
 	// Elapsed is the time from broadcast start to the last delivery or
@@ -44,17 +50,69 @@ type Result struct {
 	Retries int
 }
 
-// Broadcaster carries the shared mechanics (retry count, per-message daemon
-// costs, per-node connection limits) used by every structure.
+// RetryPolicy configures the per-link delivery retry loop. The zero
+// policy is not meaningful; a nil *RetryPolicy on the Broadcaster selects
+// the paper's fixed-count immediate-retry behaviour (Broadcaster.Retries
+// attempts, no backoff), which is also what every existing experiment
+// uses — the policy is strictly additive to the recorded traces.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of connection attempts per link
+	// (first try included). Values below 1 are treated as 1.
+	MaxAttempts int
+	// Backoff is the wait before the second attempt; each further attempt
+	// multiplies it by BackoffFactor (default 2), capped at MaxBackoff.
+	Backoff time.Duration
+	// BackoffFactor is the exponential growth factor (values below 1 are
+	// treated as the default 2).
+	BackoffFactor float64
+	// MaxBackoff caps the per-attempt backoff; zero means uncapped.
+	MaxBackoff time.Duration
+	// JitterFrac adds a uniform random extra delay in [0, JitterFrac ×
+	// backoff) to each wait, drawn from the deterministic engine stream
+	// "comm/retry" — same seed, same jitter, bit for bit.
+	JitterFrac float64
+	// Deadline bounds one delivery chain: once a chain (attempt +
+	// backoffs) has been running this long, no further attempt is made
+	// and the link resolves unreachable. Zero means no deadline.
+	Deadline time.Duration
+}
+
+// backoff returns the wait before attempt number next (2-based: the wait
+// scheduled after `next-1` failed attempts).
+func (p *RetryPolicy) backoff(next int) time.Duration {
+	d := p.Backoff
+	f := p.BackoffFactor
+	if f < 1 {
+		f = 2
+	}
+	for i := 2; i < next; i++ {
+		d = time.Duration(float64(d) * f)
+		if p.MaxBackoff > 0 && d > p.MaxBackoff {
+			return p.MaxBackoff
+		}
+	}
+	if p.MaxBackoff > 0 && d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	return d
+}
+
+// Broadcaster carries the shared mechanics (retry policy, per-message
+// daemon costs, per-node connection limits) used by every structure.
 type Broadcaster struct {
 	Cluster *cluster.Cluster
-	// Retries is the number of connection attempts per link (paper: 3).
+	// Retries is the number of connection attempts per link (paper: 3),
+	// retried immediately. Ignored when Retry is set.
 	Retries int
+	// Retry, when non-nil, replaces the fixed immediate-retry loop with
+	// exponential backoff, deterministic jitter and a per-chain deadline.
+	Retry *RetryPolicy
 	// SendOverhead is the sender-side CPU/dispatch cost to initiate one
 	// message (serialization, thread hand-off).
 	SendOverhead time.Duration
 	// RelayOverhead is the receiver-side processing cost before a relay
-	// node forwards to its children.
+	// node forwards to its children. Gray (alive-but-slow) relays pay
+	// this inflated by their slowdown factor.
 	RelayOverhead time.Duration
 	// MaxConcurrent caps simultaneous outstanding connections per sender
 	// (daemon thread-pool / fd limit). Star broadcasts from one origin are
@@ -63,8 +121,17 @@ type Broadcaster struct {
 	// PerNodeListBytes is the wire overhead per participant carried in
 	// relay messages (the sub-nodelist).
 	PerNodeListBytes int
+	// RecordResolved, when set, makes every Result carry the delivered
+	// targets' identities (Result.Resolved) for invariant checking.
+	RecordResolved bool
+	// OnResolve, when non-nil, is invoked exactly once per (broadcast,
+	// target) at the virtual instant the target resolves — delivered or
+	// declared unreachable. It must not schedule events.
+	OnResolve func(to cluster.NodeID, ok bool)
 
 	limiters map[cluster.NodeID]*limiter
+	slots    int // connection slots in use or queued, across all senders
+	retryRng *rand.Rand
 }
 
 // NewBroadcaster returns a Broadcaster with the paper's defaults.
@@ -117,13 +184,48 @@ func (l *limiter) release() {
 	l.inUse--
 }
 
+// maxAttempts returns the attempt budget of the active retry policy.
+func (b *Broadcaster) maxAttempts() int {
+	if b.Retry != nil {
+		if b.Retry.MaxAttempts < 1 {
+			return 1
+		}
+		return b.Retry.MaxAttempts
+	}
+	return b.Retries
+}
+
+// retryDelay returns how long to wait before attempt number next (jitter
+// included). The fixed-count legacy policy retries immediately.
+func (b *Broadcaster) retryDelay(next int) time.Duration {
+	p := b.Retry
+	if p == nil {
+		return 0
+	}
+	d := p.backoff(next)
+	if p.JitterFrac > 0 && d > 0 {
+		if b.retryRng == nil {
+			b.retryRng = b.engine().Rand("comm/retry")
+		}
+		if span := int64(float64(d) * p.JitterFrac); span > 0 {
+			d += time.Duration(b.retryRng.Int63n(span))
+		}
+	}
+	return d
+}
+
 // send delivers one message with retries, occupying a connection slot of
-// the sender from dispatch until resolution. cb receives true on delivery.
+// the sender from dispatch until resolution. cb receives true on delivery,
+// exactly once: duplicated deliveries (NetConfig.DupProb) are deduplicated
+// here, so Delivered never double-counts a target.
 func (b *Broadcaster) send(from, to cluster.NodeID, size int, res *Result, cb func(ok bool)) {
 	e := b.engine()
 	lim := b.limiter(from)
+	b.slots++
 	lim.acquire(func() {
 		attempts := 0
+		resolved := false
+		chainStart := e.Now()
 		var attempt func()
 		attempt = func() {
 			attempts++
@@ -134,15 +236,29 @@ func (b *Broadcaster) send(from, to cluster.NodeID, size int, res *Result, cb fu
 			b.Cluster.Node(from).Meter.ChargeCPU(b.SendOverhead)
 			e.After(b.SendOverhead, func() {
 				b.Cluster.Net.Send(from, to, size,
-					func() { // delivered
+					func() { // delivered (possibly again: dedup)
+						if resolved {
+							return
+						}
+						resolved = true
+						b.slots--
 						lim.release()
 						cb(true)
 					},
 					func() { // attempt failed
-						if attempts < b.Retries {
-							attempt()
+						if resolved {
 							return
 						}
+						if attempts < b.maxAttempts() && !b.pastDeadline(chainStart) {
+							if d := b.retryDelay(attempts + 1); d > 0 {
+								e.After(d, attempt)
+							} else {
+								attempt()
+							}
+							return
+						}
+						resolved = true
+						b.slots--
 						lim.release()
 						cb(false)
 					})
@@ -150,6 +266,28 @@ func (b *Broadcaster) send(from, to cluster.NodeID, size int, res *Result, cb fu
 		}
 		attempt()
 	})
+}
+
+// pastDeadline reports whether a delivery chain begun at start has
+// exhausted the policy's per-chain deadline.
+func (b *Broadcaster) pastDeadline(start time.Duration) bool {
+	return b.Retry != nil && b.Retry.Deadline > 0 && b.engine().Now()-start >= b.Retry.Deadline
+}
+
+// OutstandingSends returns the number of delivery chains currently in
+// flight (holding or queued for a connection slot) across all senders.
+// Zero means the communication layer is fully drained — a teardown
+// invariant the chaos harness checks.
+func (b *Broadcaster) OutstandingSends() int { return b.slots }
+
+// relayDelay returns the relay processing cost at a node: RelayOverhead,
+// inflated by the node's gray-failure factor when it is degraded.
+func (b *Broadcaster) relayDelay(id cluster.NodeID) time.Duration {
+	g := b.Cluster.Net.GrayFactor(id)
+	if g <= 1 {
+		return b.RelayOverhead
+	}
+	return time.Duration(float64(b.RelayOverhead) * g)
 }
 
 // Send delivers one point-to-point message with the broadcaster's retry
@@ -163,6 +301,7 @@ func (b *Broadcaster) Send(from, to cluster.NodeID, size int, cb func(ok bool)) 
 
 // tracker counts outstanding deliveries and finalizes the Result.
 type tracker struct {
+	b       *Broadcaster
 	engine  *simnet.Engine
 	start   time.Duration
 	pending int
@@ -170,8 +309,9 @@ type tracker struct {
 	done    func(Result)
 }
 
-func newTracker(e *simnet.Engine, pending int, done func(Result)) *tracker {
-	t := &tracker{engine: e, start: e.Now(), pending: pending, done: done}
+func newTracker(b *Broadcaster, pending int, done func(Result)) *tracker {
+	e := b.engine()
+	t := &tracker{b: b, engine: e, start: e.Now(), pending: pending, done: done}
 	if pending == 0 {
 		t.finish()
 	}
@@ -179,8 +319,14 @@ func newTracker(e *simnet.Engine, pending int, done func(Result)) *tracker {
 }
 
 func (t *tracker) resolve(res *Result, id cluster.NodeID, ok bool) {
+	if t.b.OnResolve != nil {
+		t.b.OnResolve(id, ok)
+	}
 	if ok {
 		res.Delivered++
+		if t.b.RecordResolved {
+			res.Resolved = append(res.Resolved, id)
+		}
 		if d := t.engine.Now() - t.start; d > res.DeliveredElapsed {
 			res.DeliveredElapsed = d
 		}
@@ -225,7 +371,7 @@ func (Star) Name() string { return "star" }
 
 // Broadcast implements Structure.
 func (Star) Broadcast(b *Broadcaster, origin cluster.NodeID, targets []cluster.NodeID, size int, done func(Result)) {
-	t := newTracker(b.engine(), len(targets), done)
+	t := newTracker(b, len(targets), done)
 	for _, id := range targets {
 		id := id
 		b.send(origin, id, size, &t.res, func(ok bool) { t.resolve(&t.res, id, ok) })
@@ -244,7 +390,7 @@ func (Ring) Name() string { return "ring" }
 
 // Broadcast implements Structure.
 func (Ring) Broadcast(b *Broadcaster, origin cluster.NodeID, targets []cluster.NodeID, size int, done func(Result)) {
-	t := newTracker(b.engine(), len(targets), done)
+	t := newTracker(b, len(targets), done)
 	ids := append([]cluster.NodeID(nil), targets...)
 	var hop func(from cluster.NodeID, idx int)
 	hop = func(from cluster.NodeID, idx int) {
@@ -257,8 +403,9 @@ func (Ring) Broadcast(b *Broadcaster, origin cluster.NodeID, targets []cluster.N
 		b.send(from, to, sz, &t.res, func(ok bool) {
 			t.resolve(&t.res, to, ok)
 			if ok {
-				b.Cluster.Node(to).Meter.ChargeCPU(b.RelayOverhead)
-				b.engine().After(b.RelayOverhead, func() { hop(to, idx+1) })
+				d := b.relayDelay(to)
+				b.Cluster.Node(to).Meter.ChargeCPU(d)
+				b.engine().After(d, func() { hop(to, idx+1) })
 			} else {
 				// Skip the dead node: the same sender tries its successor.
 				hop(from, idx+1)
@@ -293,16 +440,17 @@ func (s SharedMem) Broadcast(b *Broadcaster, origin cluster.NodeID, targets []cl
 		st = 1200 * time.Microsecond
 	}
 	e := b.engine()
-	t := newTracker(e, len(targets), done)
+	t := newTracker(b, len(targets), done)
 	// Publish: one write into the shared segment.
 	b.Cluster.Node(origin).Meter.ChargeCPU(b.SendOverhead)
+	timeout := b.Cluster.Net.Config().ConnectTimeout
 	queue := time.Duration(0)
 	for _, id := range targets {
 		id := id
 		if b.Cluster.Node(id).Failed() {
 			// A failed node never issues its fetch; the service notices
 			// the missing ack after its timeout when collecting results.
-			e.After(b.Cluster.Net.Config().ConnectTimeout, func() {
+			e.After(timeout, func() {
 				t.resolve(&t.res, id, false)
 			})
 			continue
@@ -311,6 +459,13 @@ func (s SharedMem) Broadcast(b *Broadcaster, origin cluster.NodeID, targets []cl
 		delay := queue + b.Cluster.Net.TransferTime(size)
 		t.res.Messages++
 		e.After(delay, func() {
+			// The node may have failed while queued behind earlier fetches
+			// (a mid-broadcast failure): its fetch never happens and the
+			// service notices the missing ack after its timeout.
+			if b.Cluster.Node(id).Failed() {
+				e.After(timeout, func() { t.resolve(&t.res, id, false) })
+				return
+			}
 			b.Cluster.Node(id).Meter.CountMessage(false, size)
 			t.resolve(&t.res, id, true)
 		})
@@ -348,7 +503,7 @@ func (k KTree) Broadcast(b *Broadcaster, origin cluster.NodeID, targets []cluste
 // adoption fault tolerance.
 func broadcastTree(b *Broadcaster, origin cluster.NodeID, tr *fptree.Tree[cluster.NodeID], size int, done func(Result)) {
 	e := b.engine()
-	t := newTracker(e, tr.Size(), done)
+	t := newTracker(b, tr.Size(), done)
 
 	var dispatch func(from cluster.NodeID, n *fptree.Node[cluster.NodeID])
 	subtreeSize := func(n *fptree.Node[cluster.NodeID]) int {
@@ -372,8 +527,9 @@ func broadcastTree(b *Broadcaster, origin cluster.NodeID, tr *fptree.Tree[cluste
 				if len(n.Children) == 0 {
 					return
 				}
-				b.Cluster.Node(n.Value).Meter.ChargeCPU(b.RelayOverhead)
-				e.After(b.RelayOverhead, func() {
+				d := b.relayDelay(n.Value)
+				b.Cluster.Node(n.Value).Meter.ChargeCPU(d)
+				e.After(d, func() {
 					for _, ch := range n.Children {
 						dispatch(n.Value, ch)
 					}
@@ -493,7 +649,7 @@ func (Binomial) Name() string { return "binomial" }
 
 // Broadcast implements Structure.
 func (Binomial) Broadcast(b *Broadcaster, origin cluster.NodeID, targets []cluster.NodeID, size int, done func(Result)) {
-	t := newTracker(b.engine(), len(targets), done)
+	t := newTracker(b, len(targets), done)
 	ids := append([]cluster.NodeID(nil), targets...)
 
 	// relay(holder, lo, hi): holder (origin for the root call, otherwise
@@ -512,8 +668,9 @@ func (Binomial) Broadcast(b *Broadcaster, origin cluster.NodeID, targets []clust
 			t.resolve(&t.res, head, ok)
 			mid := lo + 1 + (hi-lo-1)/2
 			if ok {
-				b.Cluster.Node(head).Meter.ChargeCPU(b.RelayOverhead)
-				b.engine().After(b.RelayOverhead, func() { relay(head, mid, hi) })
+				d := b.relayDelay(head)
+				b.Cluster.Node(head).Meter.ChargeCPU(d)
+				b.engine().After(d, func() { relay(head, mid, hi) })
 				relay(holder, lo+1, mid)
 				return
 			}

@@ -105,6 +105,9 @@ func (g GatherTree) BroadcastGather(b *Broadcaster, origin cluster.NodeID, targe
 			if !delivered {
 				// Adoption: `from` contacts the dead child's children
 				// directly and merges their replies itself.
+				if b.OnResolve != nil {
+					b.OnResolve(n.Value, false)
+				}
 				merged := subReply{bad: []cluster.NodeID{n.Value}}
 				pending := len(n.Children)
 				if pending == 0 {
@@ -126,6 +129,9 @@ func (g GatherTree) BroadcastGather(b *Broadcaster, origin cluster.NodeID, targe
 			if d := e.Now() - start; d > lastDelivery {
 				lastDelivery = d
 			}
+			if b.OnResolve != nil {
+				b.OnResolve(n.Value, true)
+			}
 			merged := subReply{ok: []cluster.NodeID{n.Value}}
 			finish := func() {
 				// The aggregate travels up as one real message sized by the
@@ -136,10 +142,10 @@ func (g GatherTree) BroadcastGather(b *Broadcaster, origin cluster.NodeID, targe
 				b.send(n.Value, from, aggSz, &res.Result, func(bool) { reply(merged) })
 			}
 			if len(n.Children) == 0 {
-				e.After(b.RelayOverhead, finish)
+				e.After(b.relayDelay(n.Value), finish)
 				return
 			}
-			e.After(b.RelayOverhead, func() {
+			e.After(b.relayDelay(n.Value), func() {
 				pending := len(n.Children)
 				for _, ch := range n.Children {
 					visit(n.Value, ch, func(r subReply) {
@@ -166,6 +172,9 @@ func (g GatherTree) BroadcastGather(b *Broadcaster, origin cluster.NodeID, targe
 	for _, r := range tr.Roots {
 		visit(origin, r, func(sr subReply) {
 			res.Delivered += len(sr.ok)
+			if b.RecordResolved {
+				res.Resolved = append(res.Resolved, sr.ok...)
+			}
 			res.Unreachable = append(res.Unreachable, sr.bad...)
 			pending--
 			if pending == 0 {

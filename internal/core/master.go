@@ -121,6 +121,10 @@ type Stats struct {
 	Reallocations   int
 	MasterTakeovers int
 	HeartbeatSweeps int
+	// PoolDrainedFallbacks counts master takeovers that happened because
+	// the whole pool had drained to FAULT/DOWN (the graceful-degradation
+	// path), a subset of MasterTakeovers.
+	PoolDrainedFallbacks int
 }
 
 // Master is the ESlurm control daemon.
@@ -230,6 +234,11 @@ func (p mergedPredictor) PredictedCount() int {
 
 // Config returns the master's configuration.
 func (m *Master) Config() Config { return m.cfg }
+
+// PoolHealth returns the satellite pool's current census — the signal the
+// monitoring subsystem (monitor.ObservePool) and the chaos harness watch
+// for graceful degradation.
+func (m *Master) PoolHealth() satellite.Health { return m.Pool.Health() }
 
 // Stats returns a copy of the master's event counters.
 func (m *Master) Stats() Stats { return m.stats }
@@ -354,8 +363,13 @@ func (m *Master) Broadcast(targets []cluster.NodeID, size int, done func(comm.Re
 	n := m.SatelliteFanout(len(targets))
 	sats := m.Pool.SelectRunning(n)
 	if len(sats) == 0 {
-		// No satellite available at all: the master must do the work.
+		// No satellite available at all: the master must do the work
+		// rather than stall. A fully drained pool (all FAULT/DOWN) is the
+		// graceful-degradation case the chaos harness asserts on.
 		m.stats.MasterTakeovers++
+		if m.Pool.Drained() {
+			m.stats.PoolDrainedFallbacks++
+		}
 		m.directBroadcast(master, targets, size, func(r comm.Result, _ time.Duration) {
 			if done != nil {
 				done(r)
@@ -375,6 +389,7 @@ func (m *Master) Broadcast(targets []cluster.NodeID, size int, done func(comm.Re
 	// drained (the paper's "message broadcast time").
 	finish := func(r comm.Result, deliveredAt time.Duration) {
 		merged.Delivered += r.Delivered
+		merged.Resolved = append(merged.Resolved, r.Resolved...)
 		merged.Unreachable = append(merged.Unreachable, r.Unreachable...)
 		merged.Messages += r.Messages
 		merged.Retries += r.Retries

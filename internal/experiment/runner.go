@@ -65,6 +65,7 @@ func RunConcurrent(specs []Spec, p Params, parallel int, emit func(Result)) []Re
 	var wg sync.WaitGroup
 	for w := 0; w < parallel; w++ {
 		wg.Add(1)
+		//eslurmlint:ignore gosim worker pool over independent engines; no simulated state crosses goroutines
 		go func() {
 			defer wg.Done()
 			for i := range work {

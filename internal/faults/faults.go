@@ -16,13 +16,25 @@ import (
 	"eslurm/internal/topo"
 )
 
+// Kind classifies an injected event. The zero value is a fail-stop; the
+// adversarial scenarios (PR 3) tag their events so reports can break a
+// mixed campaign down by failure mode.
+type Kind string
+
+const (
+	KindFailStop  Kind = ""
+	KindGray      Kind = "gray"
+	KindPartition Kind = "partition"
+)
+
 // Event records one injected failure for reporting.
 type Event struct {
 	Node   cluster.NodeID
 	At     time.Duration
 	Down   time.Duration
 	Silent bool
-	RackID int // -1 unless rack-correlated
+	RackID int  // -1 unless rack-correlated
+	Kind   Kind // "" = fail-stop
 }
 
 // Campaign injects scenarios into one cluster/monitor pair and records

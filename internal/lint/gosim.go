@@ -1,0 +1,38 @@
+package lint
+
+import "go/ast"
+
+// GosimAnalyzer flags `go` statements inside the simulation's internal/
+// packages. The determinism contract (same seed ⇒ same event trace, bit
+// for bit) holds because the simnet engine is single-threaded: every
+// state change happens inside an engine event, in heap order. A goroutine
+// runs on the Go scheduler's clock instead — its interleaving with engine
+// events varies run to run, so any simulation state it touches (or any
+// event it schedules) makes the trace irreproducible. Concurrency that
+// lives strictly outside the simulated world — e.g. a worker pool running
+// independent engines in parallel — is legitimate, and must carry an
+// //eslurmlint:ignore gosim suppression explaining exactly that.
+var GosimAnalyzer = &Analyzer{
+	Name: "gosim",
+	Doc:  "flag go statements in internal/ simulation packages (single-threaded determinism contract)",
+	Run:  runGosim,
+}
+
+func runGosim(p *Package) []Finding {
+	if !underInternal(p.ImportPath) {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			out = append(out, Finding{p.Fset.Position(g.Pos()), "gosim",
+				"go statement in a simulation package: the determinism contract is single-threaded (same seed ⇒ same trace) and goroutine interleaving is scheduler-dependent — schedule an engine event instead, or suppress with a reason if the concurrency never touches simulated state"})
+			return true
+		})
+	}
+	return out
+}

@@ -172,6 +172,13 @@ func TestEvalloc(t *testing.T) {
 	runCase(t, "evalloc_suppressed", EvallocAnalyzer)
 }
 
+func TestGosim(t *testing.T) {
+	runCase(t, "gosim_bad", GosimAnalyzer)
+	runCase(t, "gosim_good", GosimAnalyzer)
+	runCase(t, "gosim_suppressed", GosimAnalyzer)
+	runCase(t, "gosim_cmd", GosimAnalyzer)
+}
+
 // TestRunOnRealTree is the self-hosting check: the whole module must lint
 // clean, so a regression anywhere fails the lint package's own tests even
 // before CI runs the CLI.
@@ -201,7 +208,7 @@ func TestFindingString(t *testing.T) {
 	if got, want := f.String(), "a/b.go:7: [detrand] msg"; got != want {
 		t.Fatalf("String() = %q, want %q", got, want)
 	}
-	if fmt.Sprint(len(Analyzers())) != "5" {
-		t.Fatalf("expected 5 analyzers, got %d", len(Analyzers()))
+	if fmt.Sprint(len(Analyzers())) != "6" {
+		t.Fatalf("expected 6 analyzers, got %d", len(Analyzers()))
 	}
 }

@@ -5,8 +5,8 @@
 // is bit-for-bit reproducible: same seed ⇒ same event ordering ⇒ same
 // utilization/slowdown/AEA numbers. A single stray wall-clock read, global
 // RNG call, or order-sensitive map iteration silently corrupts every
-// downstream table. The five analyzers here (walltime, detrand, maporder,
-// errdrop, evalloc) turn that contract — and the kernel hot path's
+// downstream table. The six analyzers here (walltime, detrand, maporder,
+// errdrop, evalloc, gosim) turn that contract — and the kernel hot path's
 // allocation budget — into a merge gate; see each analyzer's Doc for the
 // precise rule.
 //
@@ -68,7 +68,7 @@ type Analyzer struct {
 
 // Analyzers returns the full eslurmlint rule set in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{WalltimeAnalyzer, DetrandAnalyzer, MaporderAnalyzer, ErrdropAnalyzer, EvallocAnalyzer}
+	return []*Analyzer{WalltimeAnalyzer, DetrandAnalyzer, MaporderAnalyzer, ErrdropAnalyzer, EvallocAnalyzer, GosimAnalyzer}
 }
 
 // AnalyzerNames returns the names of every registered analyzer.

@@ -1,0 +1,19 @@
+//eslurmlint:testpath eslurm/internal/gosim_bad
+
+// Package gosim_bad spawns goroutines inside a simulation package, which
+// makes the event trace depend on the Go scheduler.
+package gosim_bad
+
+type Engine struct{ now int64 }
+
+func (e *Engine) Advance() { e.now++ }
+
+func Drive(e *Engine) {
+	go e.Advance() // want "go statement in a simulation package"
+	done := make(chan struct{})
+	go func() { // want "go statement in a simulation package"
+		e.Advance()
+		close(done)
+	}()
+	<-done
+}

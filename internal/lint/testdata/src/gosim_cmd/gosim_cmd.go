@@ -1,0 +1,15 @@
+//eslurmlint:testpath eslurm/cmd/gosim_cmd
+
+// Package gosim_cmd lives outside internal/, where goroutines are fine
+// (CLIs parallelize freely); the analyzer must stay silent.
+package gosim_cmd
+
+func Fetch(urls []string) {
+	done := make(chan struct{}, len(urls))
+	for range urls {
+		go func() { done <- struct{}{} }()
+	}
+	for range urls {
+		<-done
+	}
+}

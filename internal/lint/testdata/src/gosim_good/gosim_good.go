@@ -1,0 +1,24 @@
+//eslurmlint:testpath eslurm/internal/gosim_good
+
+// Package gosim_good stays single-threaded: work is expressed as engine
+// callbacks, never goroutines, so the analyzer is silent.
+package gosim_good
+
+type Engine struct {
+	queue []func()
+}
+
+func (e *Engine) After(fn func()) { e.queue = append(e.queue, fn) }
+
+func (e *Engine) Run() {
+	for len(e.queue) > 0 {
+		fn := e.queue[0]
+		e.queue = e.queue[1:]
+		fn()
+	}
+}
+
+func Drive(e *Engine) {
+	e.After(func() { e.After(func() {}) })
+	e.Run()
+}

@@ -1,0 +1,25 @@
+//eslurmlint:testpath eslurm/internal/gosim_suppressed
+
+// Package gosim_suppressed shows the audited exception: a worker pool
+// whose goroutines each own a private engine — concurrency outside the
+// simulated world — with the mandatory reason on the suppression.
+package gosim_suppressed
+
+type Engine struct{ seed int64 }
+
+func (e *Engine) Run() {}
+
+func RunConcurrent(seeds []int64) {
+	done := make(chan struct{}, len(seeds))
+	for _, s := range seeds {
+		s := s
+		//eslurmlint:ignore gosim each worker owns a private engine; no simulated state is shared
+		go func() {
+			(&Engine{seed: s}).Run()
+			done <- struct{}{}
+		}()
+	}
+	for range seeds {
+		<-done
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"eslurm/internal/cluster"
+	"eslurm/internal/satellite"
 	"eslurm/internal/simnet"
 )
 
@@ -237,6 +238,28 @@ func (s *Subsystem) NoticeImpendingFailure(node cluster.NodeID, failAt time.Dura
 		}
 		again()
 	})
+}
+
+// ObservePool subscribes the subsystem to a satellite pool's health
+// signal: Table II demotions re-enter the normal alert pipeline as
+// "satellite.pool" alerts (FAULT → critical, DOWN → failure), so the same
+// subscribers that watch hardware indicators also see the relay layer
+// degrade. Opt-in — wiring it adds alert events to the trace, so default
+// experiment paths leave it off. Chains with any OnChange observer
+// already installed on the pool.
+func (s *Subsystem) ObservePool(p *satellite.Pool) {
+	prev := p.OnChange
+	p.OnChange = func(sat *satellite.Satellite, from, to satellite.State, h satellite.Health) {
+		if prev != nil {
+			prev(sat, from, to, h)
+		}
+		switch to {
+		case satellite.Fault:
+			s.emit(Alert{Node: sat.ID, Indicator: "satellite.pool", Severity: SevCritical}, false)
+		case satellite.Down:
+			s.emit(Alert{Node: sat.ID, Indicator: "satellite.pool", Severity: SevFailure}, false)
+		}
+	}
 }
 
 // startNoise emits spurious warning alerts at the configured Poisson rate

@@ -227,6 +227,26 @@ func (s *Satellite) enterFault(now time.Duration) {
 // returning it to UNKNOWN (the next successful heartbeat promotes it).
 func (s *Satellite) Reinstate() { s.state = Unknown; s.busyTasks = 0 }
 
+// Health is a point-in-time census of the pool by state.
+type Health struct {
+	Unknown, Running, Busy, Fault, Down int
+}
+
+// Alive returns the satellites currently serviceable (RUNNING or BUSY).
+func (h Health) Alive() int { return h.Running + h.Busy }
+
+// Total returns the pool size.
+func (h Health) Total() int { return h.Unknown + h.Running + h.Busy + h.Fault + h.Down }
+
+// Drained reports the pool has fully drained to FAULT/DOWN: no satellite
+// can serve a broadcast now or after finishing its current task. The
+// master's graceful-degradation path (direct tree broadcast) keys off
+// this.
+func (h Health) Drained() bool {
+	t := h.Total()
+	return t > 0 && h.Fault+h.Down == t
+}
+
 // Pool is the master's satellite-node pool with round-robin selection over
 // RUNNING satellites (Section III-B) and FAULT-timeout demotion
 // (Section III-C, Table II: TIMEOUT default ≥ 20 min).
@@ -237,6 +257,13 @@ type Pool struct {
 	// FaultTimeout is how long a satellite may remain in FAULT before a
 	// TIMEOUT event demotes it to DOWN.
 	FaultTimeout time.Duration
+	// OnChange, when set, observes every satellite state change made
+	// through the pool (Apply and the internal FAULT-timeout demotion):
+	// the satellite, its old and new states, and the pool census after the
+	// change. It fires synchronously — no simulation events — so wiring an
+	// observer does not perturb the event trace. Transitions applied
+	// directly on a Satellite (bypassing the pool) are not observed.
+	OnChange func(s *Satellite, from, to State, h Health)
 }
 
 // NewPool builds a pool over the given satellite node IDs. All satellites
@@ -308,6 +335,36 @@ func (p *Pool) SelectRunning(k int) []*Satellite {
 	return out
 }
 
+// Health returns the current pool census.
+func (p *Pool) Health() Health {
+	var h Health
+	for _, s := range p.sats {
+		switch s.state {
+		case Unknown:
+			h.Unknown++
+		case Running:
+			h.Running++
+		case Busy:
+			h.Busy++
+		case Fault:
+			h.Fault++
+		case Down:
+			h.Down++
+		}
+	}
+	return h
+}
+
+// Drained reports whether every satellite is FAULT or DOWN.
+func (p *Pool) Drained() bool { return p.Health().Drained() }
+
+// notify fires the OnChange observer for a completed state change.
+func (p *Pool) notify(s *Satellite, from, to State) {
+	if p.OnChange != nil && from != to {
+		p.OnChange(s, from, to, p.Health())
+	}
+}
+
 // Apply transitions a satellite and, on entry to FAULT, schedules the
 // TIMEOUT check that demotes it to DOWN if it has not recovered.
 func (p *Pool) Apply(s *Satellite, ev Event) (State, error) {
@@ -321,9 +378,11 @@ func (p *Pool) Apply(s *Satellite, ev Event) (State, error) {
 		p.engine.After(p.FaultTimeout, func() {
 			if s.state == Fault && s.faultSince == since {
 				s.Transition(EvTimeout, p.engine.Now())
+				p.notify(s, Fault, Down)
 			}
 		})
 	}
+	p.notify(s, before, st)
 	return st, nil
 }
 
