@@ -1,16 +1,29 @@
 // Command eslurmlint runs the project's determinism-enforcing static
-// analyzers (walltime, detrand, maporder, errdrop) over the module.
+// analyzers (run `eslurmlint -list` for the full table) over the module.
 //
 // Usage:
 //
 //	go run ./cmd/eslurmlint ./...
 //
 // Each argument is a directory or a dir/... pattern; the default is ./...
-// (every package under the current directory). Findings print as
-// "file:line: [analyzer] message" and any unsuppressed finding makes the
-// process exit 1; loading or type-checking failures exit 2. Suppress a
-// site with `//eslurmlint:ignore <analyzer> <reason>` on the offending
-// line or the line above it.
+// (every package under the current directory). A pattern that matches no
+// packages is a usage error (exit 2), so a typo'd path in CI can never
+// pass as a clean run.
+//
+// Findings print as "file:line: [analyzer] message" and any unsuppressed
+// finding makes the process exit 1; loading or type-checking failures
+// exit 2. Suppress a site with `//eslurmlint:ignore <analyzer> <reason>`
+// on the offending line or the line above it.
+//
+// Flags:
+//
+//	-list        print the analyzer table (markdown; the README embeds it) and exit
+//	-sarif       emit findings as SARIF 2.1.0 on stdout and exit 0 even
+//	             when findings exist — code scanning renders them as
+//	             alerts, and the plain-mode CI step stays the hard gate
+//	-j N         analysis worker count (default: GOMAXPROCS)
+//	-cache DIR   reuse per-package results from DIR, keyed by a content
+//	             hash of each package's module-local dependency closure
 package main
 
 import (
@@ -19,6 +32,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"eslurm/internal/lint"
 )
@@ -31,17 +45,22 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("eslurmlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	list := fs.Bool("list", false, "list the analyzers and exit")
+	list := fs.Bool("list", false, "print the analyzer table (markdown) and exit")
+	sarif := fs.Bool("sarif", false, "emit SARIF 2.1.0 on stdout; findings do not fail the run")
+	workers := fs.Int("j", 0, "analysis worker count (0 = GOMAXPROCS)")
+	cacheDir := fs.String("cache", "", "per-package result cache directory (empty = no cache)")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: eslurmlint [-list] [packages]")
+		fmt.Fprintln(stderr, "usage: eslurmlint [-list] [-sarif] [-j N] [-cache dir] [packages]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *list {
+		fmt.Fprintln(stdout, "| analyzer | rule |")
+		fmt.Fprintln(stdout, "|----------|------|")
 		for _, a := range lint.Analyzers() {
-			fmt.Fprintf(stdout, "%-10s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "| `%s` | %s |\n", a.Name, a.Doc)
 		}
 		return 0
 	}
@@ -70,8 +89,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "eslurmlint:", err)
 		return 2
 	}
+	if len(pkgs) == 0 {
+		fmt.Fprintf(stderr, "eslurmlint: no packages match %s\n", strings.Join(patterns, " "))
+		fs.Usage()
+		return 2
+	}
 
-	findings := lint.Run(pkgs, lint.Analyzers())
+	opts := lint.RunOptions{Workers: *workers, Lookup: loader.Loaded}
+	if *cacheDir != "" {
+		cache, err := lint.NewCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(stderr, "eslurmlint:", err)
+			return 2
+		}
+		opts.Cache = cache
+	}
+	findings := lint.RunParallel(pkgs, lint.Analyzers(), opts)
+
+	if *sarif {
+		if err := lint.WriteSARIF(stdout, findings, lint.Analyzers(), cwd); err != nil {
+			fmt.Fprintln(stderr, "eslurmlint:", err)
+			return 2
+		}
+		return 0
+	}
 	for _, f := range findings {
 		pos := f.Pos
 		if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && len(rel) < len(pos.Filename) {

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -60,5 +63,99 @@ func TestRunBadFlag(t *testing.T) {
 	var out, errb strings.Builder
 	if code := run([]string{"-definitely-not-a-flag"}, &out, &errb); code != 2 {
 		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+// TestRunListMarkdown: -list emits the markdown table the README embeds,
+// one row per analyzer.
+func TestRunListMarkdown(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) < 3 || !strings.HasPrefix(lines[0], "| analyzer |") {
+		t.Fatalf("-list is not a markdown table:\n%s", out.String())
+	}
+	for _, line := range lines[2:] {
+		if !strings.HasPrefix(line, "| `") {
+			t.Errorf("row not in | `name` | doc | form: %s", line)
+		}
+	}
+}
+
+// TestRunNoMatch: a pattern that resolves to zero packages is a usage
+// error, not a silently clean run.
+func TestRunNoMatch(t *testing.T) {
+	empty := t.TempDir()
+	var out, errb strings.Builder
+	if code := run([]string{empty + "/..."}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "no packages match") {
+		t.Errorf("stderr missing the no-match diagnostic: %s", errb.String())
+	}
+	if !strings.Contains(errb.String(), "usage:") {
+		t.Errorf("stderr missing usage text: %s", errb.String())
+	}
+}
+
+// TestRunSARIF: findings present, but -sarif exits 0 and emits a valid
+// SARIF log with the finding annotated at a repo-relative path — code
+// scanning surfaces the alerts while the plain-mode step stays the gate.
+func TestRunSARIF(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-sarif", "testdata/violating"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr: %s", code, errb.String())
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Results []struct {
+				RuleID string `json:"ruleId"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &log); err != nil {
+		t.Fatalf("stdout is not JSON: %v\n%s", err, out.String())
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 || len(log.Runs[0].Results) != 1 {
+		t.Fatalf("unexpected SARIF shape:\n%s", out.String())
+	}
+	if log.Runs[0].Results[0].RuleID != "detrand" {
+		t.Errorf("ruleId = %q, want detrand", log.Runs[0].Results[0].RuleID)
+	}
+	if !strings.Contains(out.String(), "testdata/violating/violating.go") {
+		t.Errorf("SARIF missing the relative artifact path:\n%s", out.String())
+	}
+}
+
+// TestRunCachedParallel: -j and -cache must not change output or exit
+// code, and the second (fully cached) run must reproduce the first
+// byte for byte.
+func TestRunCachedParallel(t *testing.T) {
+	cacheDir := t.TempDir()
+	args := []string{"-j", "4", "-cache", cacheDir, "testdata/violating"}
+	var out1, out2, errb strings.Builder
+	if code := run(args, &out1, &errb); code != 1 {
+		t.Fatalf("first run exit = %d, want 1; stderr: %s", code, errb.String())
+	}
+	entries, err := os.ReadDir(cacheDir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("cache dir not populated: err=%v entries=%d", err, len(entries))
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".json" {
+			t.Errorf("unexpected cache entry %s", e.Name())
+		}
+	}
+	if code := run(args, &out2, &errb); code != 1 {
+		t.Fatalf("cached run exit = %d, want 1; stderr: %s", code, errb.String())
+	}
+	if out1.String() != out2.String() {
+		t.Errorf("cached run output differs:\n--- first\n%s--- second\n%s", out1.String(), out2.String())
+	}
+	if !strings.Contains(out1.String(), "[detrand]") {
+		t.Errorf("missing the detrand finding:\n%s", out1.String())
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"eslurm/internal/monitor"
 	"eslurm/internal/satellite"
 	"eslurm/internal/simnet"
+	"eslurm/internal/testutil"
 )
 
 // pinCfg is the small, fast configuration whose report digest is pinned:
@@ -63,7 +64,7 @@ func TestSoakDefaultMixAtScale(t *testing.T) {
 	if cfg.Computes < 1024 {
 		t.Fatalf("default soak runs at %d < 1024 computes", cfg.Computes)
 	}
-	if raceEnabled || testing.Short() {
+	if testutil.RaceEnabled || testing.Short() {
 		cfg.Seeds = 2
 	}
 	rep := Soak(cfg)

@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"eslurm/internal/testutil"
 )
 
 // runnerParams shrinks every experiment far enough that the full registry
@@ -70,7 +72,7 @@ func TestRunConcurrentMatchesSerialQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs the full quick-preset suite twice")
 	}
-	if raceEnabled {
+	if testutil.RaceEnabled {
 		// Two full quick-preset suite runs exceed the race detector's
 		// 5-10× slowdown budget (the package would blow go test's default
 		// 10-minute timeout). The pool's race coverage comes from

@@ -1,0 +1,189 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync/atomic"
+)
+
+// cacheSchema is folded into every cache key; bump it whenever the
+// serialized finding layout or the key derivation changes, so stale
+// entries from an older eslurmlint can never be replayed.
+const cacheSchema = "eslurmlint-cache-v1"
+
+// Cache is a content-addressed store of per-package raw (pre-suppression)
+// findings. The key for a package hashes the analyzer set, the toolchain
+// version, and the full file contents of the package plus every
+// module-local package it transitively imports — a change anywhere in the
+// dependency closure (which can change type information and therefore
+// findings) invalidates the entry, while an untouched closure hits no
+// matter which other packages changed. Entries are one JSON file per key,
+// so the cache directory is safe to share between runs and trivially
+// prunable.
+//
+// Only the per-package analysis is cached. Suppression filtering, the
+// module-level analyzers (taint, randlabel), and staleignore always run
+// live in assemble: their inputs span packages, so a per-package key
+// cannot witness them.
+type Cache struct {
+	Dir string
+
+	hits, misses atomic.Int64
+}
+
+// NewCache opens (creating if needed) a cache rooted at dir.
+func NewCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Cache{Dir: dir}, nil
+}
+
+// Stats reports the hit/miss counts accumulated since the cache was
+// opened, for the CLI's -v accounting and the cache tests.
+func (c *Cache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Key derives the content-hash cache key for p under the given analyzer
+// set. lookup resolves module-local import paths to loaded packages (use
+// (*Loader).Loaded); it is how the key reaches p's dependency closure.
+func (c *Cache) Key(p *Package, analyzers []*Analyzer, lookup func(importPath string) *Package) (string, error) {
+	if lookup == nil {
+		return "", fmt.Errorf("cache key for %s: nil package lookup", p.ImportPath)
+	}
+	h := sha256.New()
+	fmt.Fprintln(h, cacheSchema, runtime.Version())
+	for _, a := range analyzers {
+		fmt.Fprintln(h, a.Name)
+	}
+	for _, q := range depClosure(p, lookup) {
+		fmt.Fprintln(h, q.ImportPath)
+		names, err := goFilesIn(q.Dir)
+		if err != nil {
+			return "", err
+		}
+		for _, name := range names {
+			data, err := os.ReadFile(filepath.Join(q.Dir, name))
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintln(h, name, len(data))
+			h.Write(data)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// depClosure returns p plus every module-local package it transitively
+// imports, sorted by import path so the key hash is order-independent.
+func depClosure(p *Package, lookup func(string) *Package) []*Package {
+	seen := map[string]*Package{p.ImportPath: p}
+	var visit func(q *Package)
+	visit = func(q *Package) {
+		for _, imp := range q.Types.Imports() {
+			if seen[imp.Path()] != nil {
+				continue
+			}
+			dep := lookup(imp.Path())
+			if dep == nil {
+				continue // stdlib: covered by the toolchain version in the key
+			}
+			seen[imp.Path()] = dep
+			visit(dep)
+		}
+	}
+	visit(p)
+	paths := make([]string, 0, len(seen))
+	for path := range seen {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	out := make([]*Package, len(paths))
+	for i, path := range paths {
+		out[i] = seen[path]
+	}
+	return out
+}
+
+// cachedFinding is the on-disk form of one Finding. Positions are stored
+// absolute: the cache key already pins the machine-local file contents,
+// so entries are machine-local by construction.
+type cachedFinding struct {
+	File     string `json:"file"`
+	Offset   int    `json:"offset"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.Dir, key+".json")
+}
+
+// Get returns the cached findings for key, distinguishing an empty result
+// (hit with zero findings) from a miss.
+func (c *Cache) Get(key string) ([]Finding, bool) {
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		c.misses.Add(1)
+		return nil, false
+	}
+	var entries []cachedFinding
+	if err := json.Unmarshal(data, &entries); err != nil {
+		c.misses.Add(1) // corrupt entry: treat as miss, a Put will overwrite it
+		return nil, false
+	}
+	out := make([]Finding, len(entries))
+	for i, e := range entries {
+		out[i] = Finding{
+			Pos:      token.Position{Filename: e.File, Offset: e.Offset, Line: e.Line, Column: e.Column},
+			Analyzer: e.Analyzer,
+			Message:  e.Message,
+		}
+	}
+	c.hits.Add(1)
+	return out, true
+}
+
+// Put stores findings under key. The write goes through a temp file and
+// rename so concurrent workers (or runs) never observe a torn entry.
+func (c *Cache) Put(key string, findings []Finding) error {
+	entries := make([]cachedFinding, len(findings))
+	for i, f := range findings {
+		entries[i] = cachedFinding{
+			File:     f.Pos.Filename,
+			Offset:   f.Pos.Offset,
+			Line:     f.Pos.Line,
+			Column:   f.Pos.Column,
+			Analyzer: f.Analyzer,
+			Message:  f.Message,
+		}
+	}
+	data, err := json.Marshal(entries)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(c.Dir, "put-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), c.path(key))
+}

@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeTempModule lays out a two-package module (a imports b) and returns
+// its root. Each test gets its own copy so content edits cannot leak.
+func writeTempModule(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	files := map[string]string{
+		"go.mod":   "module tmpmod\n\ngo 1.22\n",
+		"b/b.go":   "package b\n\n// N is a constant.\nconst N = 4\n",
+		"a/a.go":   "package a\n\nimport \"tmpmod/b\"\n\n// M doubles b.N.\nconst M = 2 * b.N\n",
+		"c/c.go":   "package c\n\n// Lone has no module-local imports.\nconst Lone = 1\n",
+		"_junk.go": "not go\n", // underscore-prefixed: must not affect any key
+	}
+	for name, content := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func loadTemp(t *testing.T, root, rel string) (*Loader, *Package) {
+	t.Helper()
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := l.LoadDir(filepath.Join(root, rel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, p
+}
+
+// TestCacheKeyDependencyClosure pins the invalidation semantics: the key
+// is stable across fresh loads of unchanged content, changes when a
+// transitive module-local dependency changes, and ignores packages
+// outside the closure.
+func TestCacheKeyDependencyClosure(t *testing.T) {
+	root := writeTempModule(t)
+	cache, err := NewCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := func() (a, c string) {
+		l, pa := loadTemp(t, root, "a")
+		ka, err := cache.Key(pa, Analyzers(), l.Loaded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pc, err := l.LoadDir(filepath.Join(root, "c"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		kc, err := cache.Key(pc, Analyzers(), l.Loaded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ka, kc
+	}
+
+	a1, c1 := key()
+	a2, c2 := key()
+	if a1 != a2 || c1 != c2 {
+		t.Fatal("keys not stable across fresh loads of identical content")
+	}
+
+	// Touch the dependency: a's key must change (type information flows
+	// from b), c's must not (b is outside c's closure).
+	bpath := filepath.Join(root, "b", "b.go")
+	if err := os.WriteFile(bpath, []byte("package b\n\n// N is a constant, now bigger.\nconst N = 5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a3, c3 := key()
+	if a3 == a1 {
+		t.Error("a's key unchanged after editing its dependency b")
+	}
+	if c3 != c1 {
+		t.Error("c's key changed by an edit outside its dependency closure")
+	}
+}
+
+// TestCacheKeyAnalyzerSet: enabling a different analyzer set must miss,
+// because the cached findings were computed by other rules.
+func TestCacheKeyAnalyzerSet(t *testing.T) {
+	root := writeTempModule(t)
+	cache, err := NewCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, pa := loadTemp(t, root, "a")
+	all, err := cache.Key(pa, Analyzers(), l.Loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	some, err := cache.Key(pa, []*Analyzer{WalltimeAnalyzer}, l.Loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all == some {
+		t.Error("key identical across different analyzer sets")
+	}
+}
+
+func TestCacheKeyNilLookup(t *testing.T) {
+	root := writeTempModule(t)
+	cache, err := NewCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, pa := loadTemp(t, root, "a")
+	if _, err := cache.Key(pa, Analyzers(), nil); err == nil {
+		t.Error("nil lookup: expected an error, got a key")
+	}
+}
+
+// TestCacheRoundTrip pins Get/Put, including the empty-result hit (a
+// clean package is a hit with zero findings, not a miss) and position
+// fidelity (suppression matching downstream needs exact file/line).
+func TestCacheRoundTrip(t *testing.T) {
+	cache, err := NewCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cache.Get("absent"); ok {
+		t.Fatal("hit on a key never stored")
+	}
+	in := []Finding{{
+		Pos:      token.Position{Filename: "/x/y.go", Offset: 120, Line: 9, Column: 3},
+		Analyzer: "walltime",
+		Message:  "msg with \"quotes\" and — unicode",
+	}}
+	if err := cache.Put("k1", in); err != nil {
+		t.Fatal(err)
+	}
+	out, ok := cache.Get("k1")
+	if !ok || len(out) != 1 || out[0] != in[0] {
+		t.Fatalf("round trip mismatch: ok=%v out=%+v", ok, out)
+	}
+	if err := cache.Put("k2", nil); err != nil {
+		t.Fatal(err)
+	}
+	if out, ok := cache.Get("k2"); !ok || len(out) != 0 {
+		t.Fatalf("empty entry: ok=%v len=%d, want hit with zero findings", ok, len(out))
+	}
+	// Corrupt entry: must degrade to a miss, never a panic or bad data.
+	if err := os.WriteFile(cache.path("k3"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cache.Get("k3"); ok {
+		t.Error("corrupt entry reported as a hit")
+	}
+}

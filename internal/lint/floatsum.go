@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatsumAnalyzer flags floating-point accumulation inside `range` over
+// a map, under internal/. Float addition is not associative: summing the
+// same values in a different order changes the low-order bits, and Go
+// randomizes map iteration order per run — so a float reduction in map
+// order produces a different result every run even when every input is
+// deterministic. maporder misses this case on purpose (its integer
+// sibling really is commutative; see maporder_good.Sum), but the float
+// version silently breaks bit-for-bit metric reproducibility. The fix is
+// the sorted-keys idiom: collect the keys, sort, accumulate in sorted
+// order.
+var FloatsumAnalyzer = &Analyzer{
+	Name: "floatsum",
+	Doc:  "flag float accumulation in map-iteration order under internal/ (FP addition is not associative)",
+	Run:  runFloatsum,
+}
+
+// floatsumOps are the compound assignment operators whose repeated
+// application is order-sensitive on floats.
+var floatsumOps = map[token.Token]bool{
+	token.ADD_ASSIGN: true, token.SUB_ASSIGN: true, token.MUL_ASSIGN: true,
+}
+
+func runFloatsum(p *Package) []Finding {
+	if !underInternal(p.ImportPath) {
+		return nil
+	}
+	var out []Finding
+	seen := make(map[token.Pos]bool)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			ast.Inspect(rs.Body, func(m ast.Node) bool {
+				as, ok := m.(*ast.AssignStmt)
+				if !ok || seen[as.Pos()] {
+					return true
+				}
+				if fa := floatAccum(p, as); fa != "" {
+					seen[as.Pos()] = true
+					out = append(out, Finding{p.Fset.Position(as.Pos()), "floatsum",
+						"float accumulation into " + fa + " in map-iteration order; FP addition is not associative, so the sum's bits differ run to run — collect and sort the keys, then accumulate in sorted order"})
+				}
+				return true
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// floatAccum reports the description of a float-typed accumulation target
+// if the assignment is an order-sensitive reduction (x += v, x -= v,
+// x *= v, or x = x + v), else "".
+func floatAccum(p *Package, as *ast.AssignStmt) string {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return ""
+	}
+	lhs := as.Lhs[0]
+	if !isFloat(p.Info.TypeOf(lhs)) {
+		return ""
+	}
+	if floatsumOps[as.Tok] {
+		return exprLabel(lhs)
+	}
+	if as.Tok == token.ASSIGN {
+		// x = x + v (or v + x): the expanded form of the same reduction.
+		if bin, ok := as.Rhs[0].(*ast.BinaryExpr); ok &&
+			(bin.Op == token.ADD || bin.Op == token.SUB || bin.Op == token.MUL) {
+			if sameExpr(lhs, bin.X) || sameExpr(lhs, bin.Y) {
+				return exprLabel(lhs)
+			}
+		}
+	}
+	return ""
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// exprLabel renders the accumulator for the message: an identifier's
+// name, or a generic description for field/index targets.
+func exprLabel(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprLabel(x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return exprLabel(x.X) + "[...]"
+	case *ast.StarExpr:
+		return exprLabel(x.X)
+	}
+	return "the accumulator"
+}
+
+// sameExpr is a shallow structural comparison, enough to recognize the
+// `x = x + v` pattern for identifier and selector accumulators.
+func sameExpr(a, b ast.Expr) bool {
+	switch av := a.(type) {
+	case *ast.Ident:
+		bv, ok := b.(*ast.Ident)
+		return ok && av.Name == bv.Name
+	case *ast.SelectorExpr:
+		bv, ok := b.(*ast.SelectorExpr)
+		return ok && av.Sel.Name == bv.Sel.Name && sameExpr(av.X, bv.X)
+	}
+	return false
+}

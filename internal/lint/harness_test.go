@@ -100,17 +100,32 @@ func parseWants(t *testing.T, dir string) []want {
 // want comments.
 func runCase(t *testing.T, name string, analyzers ...*Analyzer) {
 	t.Helper()
+	runModuleCase(t, []string{name}, analyzers...)
+}
+
+// runModuleCase is runCase over several testdata packages loaded
+// together, for module-level rules (taint chains across packages,
+// randlabel's cross-package collisions) whose evidence no single package
+// holds. Want comments are collected from every named directory.
+func runModuleCase(t *testing.T, names []string, analyzers ...*Analyzer) {
+	t.Helper()
 	l := testLoader(t)
-	dir := filepath.Join("testdata", "src", name)
-	p, err := l.LoadDir(dir)
-	if err != nil {
-		t.Fatalf("loading %s: %v", dir, err)
+	var pkgs []*Package
+	var wants []want
+	for _, n := range names {
+		dir := filepath.Join("testdata", "src", n)
+		p, err := l.LoadDir(dir)
+		if err != nil {
+			t.Fatalf("loading %s: %v", dir, err)
+		}
+		if tp, ok := testPathOverride(p); ok {
+			p.ImportPath = tp
+		}
+		pkgs = append(pkgs, p)
+		wants = append(wants, parseWants(t, dir)...)
 	}
-	if tp, ok := testPathOverride(p); ok {
-		p.ImportPath = tp
-	}
-	got := Run([]*Package{p}, analyzers)
-	wants := parseWants(t, dir)
+	name := strings.Join(names, "+")
+	got := Run(pkgs, analyzers)
 
 	matched := make([]bool, len(got))
 	for _, w := range wants {
@@ -179,6 +194,36 @@ func TestGosim(t *testing.T) {
 	runCase(t, "gosim_cmd", GosimAnalyzer)
 }
 
+// TestTaint pins the cross-function dataflow pass, including (in
+// taint_bad) the exact source → intermediate calls → sink chains the
+// finding messages must carry.
+func TestTaint(t *testing.T) {
+	runCase(t, "taint_bad", TaintAnalyzer)
+	runCase(t, "taint_good", TaintAnalyzer)
+	runCase(t, "taint_suppressed", TaintAnalyzer)
+}
+
+func TestFloatsum(t *testing.T) {
+	runCase(t, "floatsum_bad", FloatsumAnalyzer)
+	runCase(t, "floatsum_good", FloatsumAnalyzer)
+	runCase(t, "floatsum_suppressed", FloatsumAnalyzer)
+}
+
+// TestRandlabel exercises the module-level rule: the collision only
+// exists when both packages are loaded together.
+func TestRandlabel(t *testing.T) {
+	runModuleCase(t, []string{"randlabel_a", "randlabel_b"}, RandlabelAnalyzer)
+	runModuleCase(t, []string{"randlabel_sup_a", "randlabel_sup_b"}, RandlabelAnalyzer)
+}
+
+// TestStaleignore runs with walltime enabled so the directives under
+// judgment target an analyzer that actually ran.
+func TestStaleignore(t *testing.T) {
+	runCase(t, "staleignore_bad", WalltimeAnalyzer, StaleignoreAnalyzer)
+	runCase(t, "staleignore_good", WalltimeAnalyzer, StaleignoreAnalyzer)
+	runCase(t, "staleignore_suppressed", WalltimeAnalyzer, StaleignoreAnalyzer)
+}
+
 // TestRunOnRealTree is the self-hosting check: the whole module must lint
 // clean, so a regression anywhere fails the lint package's own tests even
 // before CI runs the CLI.
@@ -208,7 +253,7 @@ func TestFindingString(t *testing.T) {
 	if got, want := f.String(), "a/b.go:7: [detrand] msg"; got != want {
 		t.Fatalf("String() = %q, want %q", got, want)
 	}
-	if fmt.Sprint(len(Analyzers())) != "6" {
-		t.Fatalf("expected 6 analyzers, got %d", len(Analyzers()))
+	if fmt.Sprint(len(Analyzers())) != "10" {
+		t.Fatalf("expected 10 analyzers, got %d", len(Analyzers()))
 	}
 }

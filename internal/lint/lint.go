@@ -59,16 +59,26 @@ type Package struct {
 	Info       *types.Info
 }
 
-// Analyzer is one named determinism rule.
+// Analyzer is one named determinism rule. Exactly one of Run and
+// RunModule is set (or neither, for pipeline-implemented analyzers like
+// staleignore): Run sees one package at a time and may be cached and
+// parallelized per package; RunModule sees every loaded package at once,
+// for rules whose evidence spans packages (taint chains, randlabel's
+// cross-package stream collisions).
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(p *Package) []Finding
+	Name      string
+	Doc       string
+	Run       func(p *Package) []Finding
+	RunModule func(pkgs []*Package) []Finding
 }
 
 // Analyzers returns the full eslurmlint rule set in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{WalltimeAnalyzer, DetrandAnalyzer, MaporderAnalyzer, ErrdropAnalyzer, EvallocAnalyzer, GosimAnalyzer}
+	return []*Analyzer{
+		WalltimeAnalyzer, DetrandAnalyzer, MaporderAnalyzer, ErrdropAnalyzer,
+		EvallocAnalyzer, GosimAnalyzer, TaintAnalyzer, FloatsumAnalyzer,
+		RandlabelAnalyzer, StaleignoreAnalyzer,
+	}
 }
 
 // AnalyzerNames returns the names of every registered analyzer.
@@ -83,21 +93,78 @@ func AnalyzerNames() []string {
 // Run executes the analyzers over the packages, applies
 // //eslurmlint:ignore suppressions, and returns the surviving findings
 // sorted by position. Malformed suppression comments are themselves
-// reported as findings of the pseudo-analyzer "suppress".
+// reported as findings of the pseudo-analyzer "suppress". Run is the
+// serial reference pipeline; the CLI drives RunParallel, which must
+// produce byte-identical output.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
-	known := make(map[string]bool, len(analyzers))
+	raw := make([][]Finding, len(pkgs))
+	for i, p := range pkgs {
+		raw[i] = runPerPackage(p, analyzers)
+	}
+	return assemble(pkgs, analyzers, raw)
+}
+
+// runPerPackage executes the single-package analyzers over one package,
+// returning raw (pre-suppression) findings. This is the unit of work the
+// parallel driver distributes and the result cache stores.
+func runPerPackage(p *Package, analyzers []*Analyzer) []Finding {
+	var out []Finding
 	for _, a := range analyzers {
+		if a.Run != nil {
+			out = append(out, a.Run(p)...)
+		}
+	}
+	return out
+}
+
+// assemble completes the pipeline after per-package analysis: module-wide
+// analyzers, suppression filtering (tracking which directives were
+// load-bearing), the staleignore pass over unused directives, and the
+// final position sort.
+func assemble(pkgs []*Package, analyzers []*Analyzer, raw [][]Finding) []Finding {
+	enabled := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		enabled[a.Name] = true
+	}
+	known := make(map[string]bool, len(enabled))
+	for _, a := range Analyzers() {
 		known[a.Name] = true
 	}
+	// A directive may name any registered analyzer without being
+	// "malformed", even when this invocation enables a subset.
+	for name := range enabled {
+		known[name] = true
+	}
+
+	sups := make(suppressionSet)
 	var out []Finding
 	for _, p := range pkgs {
-		sups, malformed := collectSuppressions(p, known)
+		ps, malformed := collectSuppressions(p, known)
+		for k, e := range ps {
+			sups[k] = e
+		}
 		out = append(out, malformed...)
-		for _, a := range analyzers {
-			for _, f := range a.Run(p) {
-				if !sups.covers(f) {
-					out = append(out, f)
-				}
+	}
+	var pending []Finding
+	for _, fs := range raw {
+		pending = append(pending, fs...)
+	}
+	for _, a := range analyzers {
+		if a.RunModule != nil {
+			pending = append(pending, a.RunModule(pkgs)...)
+		}
+	}
+	for _, f := range pending {
+		if !sups.covers(f) {
+			out = append(out, f)
+		}
+	}
+	if enabled["staleignore"] {
+		for _, k := range sups.unused(enabled) {
+			f := Finding{sups[k].pos, "staleignore",
+				"//eslurmlint:ignore " + k.analyzer + " suppresses nothing; the finding it excused is gone — delete the directive (or fix the drift that moved it off the site)"}
+			if !sups.covers(f) {
+				out = append(out, f)
 			}
 		}
 	}

@@ -1,8 +1,10 @@
 package lint
 
 import (
+	"bufio"
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -11,6 +13,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -96,6 +99,14 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 		return p.Types, nil
 	}
 	return l.std.Import(path)
+}
+
+// Loaded returns the already type-checked package for a module-local
+// import path, or nil. The result cache resolves dependency closures
+// through it; anything the type checker pulled in is here, whether or not
+// it appeared in the CLI patterns.
+func (l *Loader) Loaded(importPath string) *Package {
+	return l.pkgs[importPath]
 }
 
 // LoadDir parses and type-checks the (non-test) package in dir.
@@ -243,7 +254,9 @@ func (l *Loader) LoadPatterns(patterns []string) ([]*Package, error) {
 	return pkgs, nil
 }
 
-// goFilesIn lists the buildable non-test Go files in dir.
+// goFilesIn lists the buildable non-test Go files in dir, honoring
+// //go:build constraints so tag-disjoint twins (race_on.go/race_off.go)
+// do not collide as redeclarations.
 func goFilesIn(dir string) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -256,8 +269,68 @@ func goFilesIn(dir string) ([]string, error) {
 			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
 			continue
 		}
+		if !buildConstraintOK(filepath.Join(dir, name)) {
+			continue
+		}
 		names = append(names, name)
 	}
 	sort.Strings(names)
 	return names, nil
+}
+
+// buildConstraintOK evaluates the file's //go:build line (if any) for the
+// loader's context: current GOOS/GOARCH, the gc toolchain, and every
+// release tag up to the running version. Feature tags like "race" are
+// false — the loader analyzes the default build, same as `go build`
+// without extra tags. Files without a constraint, and files whose
+// constraint fails to parse (the compiler will report those properly),
+// are included.
+func buildConstraintOK(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return true
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if constraint.IsGoBuild(line) {
+			expr, err := constraint.Parse(line)
+			if err != nil {
+				return true
+			}
+			return expr.Eval(buildTagMatches)
+		}
+		// The constraint must precede the package clause; stop there.
+		if strings.HasPrefix(line, "package ") {
+			return true
+		}
+	}
+	return true
+}
+
+func buildTagMatches(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, "gc":
+		return true
+	case "unix":
+		switch runtime.GOOS {
+		case "linux", "darwin", "freebsd", "netbsd", "openbsd", "dragonfly", "solaris", "illumos", "aix":
+			return true
+		}
+		return false
+	}
+	if rest, ok := strings.CutPrefix(tag, "go1."); ok {
+		tagMinor, err := strconv.Atoi(rest)
+		if err != nil {
+			return false
+		}
+		cur := strings.TrimPrefix(runtime.Version(), "go1.")
+		if i := strings.IndexByte(cur, '.'); i >= 0 {
+			cur = cur[:i]
+		}
+		curMinor, err := strconv.Atoi(cur)
+		return err == nil && tagMinor <= curMinor
+	}
+	return false
 }

@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// TestLoadBuildConstrainedTwins: a package split into tag-disjoint twin
+// files (the internal/testutil RaceEnabled pattern) must load exactly one
+// of them — without constraint evaluation both parse and the const is a
+// redeclaration.
+func TestLoadBuildConstrainedTwins(t *testing.T) {
+	root := t.TempDir()
+	files := map[string]string{
+		"go.mod":        "module tagmod\n\ngo 1.22\n",
+		"p/doc.go":      "// Package p is split across build-tagged twins.\npackage p\n",
+		"p/race_on.go":  "//go:build race\n\npackage p\n\nconst RaceEnabled = true\n",
+		"p/race_off.go": "//go:build !race\n\npackage p\n\nconst RaceEnabled = false\n",
+		"p/other_os.go": "//go:build " + otherGOOS() + "\n\npackage p\n\nconst RaceEnabled = 3 // would redeclare if loaded\n",
+	}
+	for name, content := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := l.LoadDir(filepath.Join(root, "p"))
+	if err != nil {
+		t.Fatalf("tag-disjoint twins failed to load: %v", err)
+	}
+	// The linter analyzes the default build: race off.
+	if len(p.Files) != 2 {
+		t.Fatalf("loaded %d files, want 2 (doc.go + race_off.go)", len(p.Files))
+	}
+	if v := p.Types.Scope().Lookup("RaceEnabled"); v == nil || v.Type().String() != "untyped bool" {
+		t.Errorf("RaceEnabled resolved to %v, want the untyped bool from race_off.go", v)
+	}
+}
+
+// otherGOOS returns a GOOS that is not the current one, for a file the
+// loader must skip.
+func otherGOOS() string {
+	if runtime.GOOS == "plan9" {
+		return "windows"
+	}
+	return "plan9"
+}
+
+// TestBuildTagMatches pins the tag evaluation context: current platform
+// and release tags are true, feature tags are false.
+func TestBuildTagMatches(t *testing.T) {
+	for tag, want := range map[string]bool{
+		runtime.GOOS:   true,
+		runtime.GOARCH: true,
+		"gc":           true,
+		"go1.18":       true,
+		"go1.999":      false,
+		"race":         false,
+		"integration":  false,
+	} {
+		if got := buildTagMatches(tag); got != want {
+			t.Errorf("buildTagMatches(%q) = %v, want %v", tag, got, want)
+		}
+	}
+}

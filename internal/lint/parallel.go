@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"runtime"
+	"sync"
+)
+
+// RunOptions configures the parallel driver. The zero value is valid:
+// GOMAXPROCS workers, no result cache.
+type RunOptions struct {
+	// Workers is the number of concurrent per-package analysis workers;
+	// <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// Cache, when non-nil, stores per-package raw findings keyed by a
+	// content hash of the package and its module-local dependency closure,
+	// so unchanged packages skip analysis on the next run.
+	Cache *Cache
+	// Lookup resolves a module-local import path to its loaded package;
+	// the cache needs it to hash dependency closures. Typically
+	// (*Loader).Loaded. Required when Cache is set.
+	Lookup func(importPath string) *Package
+}
+
+// RunParallel is Run with the per-package analysis fanned out across a
+// worker pool and (optionally) short-circuited by the result cache. The
+// suppression pass, module-level analyzers, and final sort stay serial in
+// assemble, and raw findings land in per-package slots indexed by input
+// order, so the output is byte-identical to Run's regardless of worker
+// count or cache state — the CLI and the golden tests both rely on that.
+func RunParallel(pkgs []*Package, analyzers []*Analyzer, opts RunOptions) []Finding {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pkgs) {
+		workers = len(pkgs)
+	}
+	if workers <= 1 {
+		raw := make([][]Finding, len(pkgs))
+		for i, p := range pkgs {
+			raw[i] = analyzeOne(p, analyzers, opts)
+		}
+		return assemble(pkgs, analyzers, raw)
+	}
+	raw := make([][]Finding, len(pkgs))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		//eslurmlint:ignore gosim the pool runs the linter itself, not a simulation; each worker writes only its own per-index result slot and assemble re-sorts deterministically
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				raw[i] = analyzeOne(pkgs[i], analyzers, opts)
+			}
+		}()
+	}
+	for i := range pkgs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return assemble(pkgs, analyzers, raw)
+}
+
+// analyzeOne runs the single-package analyzers for one package, consulting
+// the cache first when configured. Cache failures (unreadable files, a
+// missing lookup entry) silently fall back to a live run: the cache is an
+// accelerator, never a correctness dependency.
+func analyzeOne(p *Package, analyzers []*Analyzer, opts RunOptions) []Finding {
+	if opts.Cache == nil {
+		return runPerPackage(p, analyzers)
+	}
+	key, err := opts.Cache.Key(p, analyzers, opts.Lookup)
+	if err != nil {
+		return runPerPackage(p, analyzers)
+	}
+	if cached, ok := opts.Cache.Get(key); ok {
+		return cached
+	}
+	out := runPerPackage(p, analyzers)
+	opts.Cache.Put(key, out)
+	return out
+}

@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// RandlabelAnalyzer flags the same literal Engine.Rand(label) in two or
+// more packages. Engine.Rand derives a stream by hashing engine seed +
+// label and memoizes it per engine: a repeated label CONTINUES the
+// existing stream rather than re-deriving a fresh one (the PR 2 kernel
+// change made this load-bearing). Inside one package a shared label can
+// be an intentional shared stream; across packages it is almost always
+// two components accidentally interleaving draws — each one's values now
+// depend on how often the *other* has drawn, so adding a draw in package
+// A silently reorders package B's randomness. This is a module-level rule
+// (RunModule): no single package can see the collision.
+var RandlabelAnalyzer = &Analyzer{
+	Name:      "randlabel",
+	Doc:       "flag the same literal Engine.Rand stream label used from different packages (accidental stream sharing)",
+	RunModule: runRandlabel,
+}
+
+type randlabelSite struct {
+	pkg   string
+	pos   token.Position
+	label string
+}
+
+func runRandlabel(pkgs []*Package) []Finding {
+	byLabel := make(map[string][]randlabelSite)
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				label, ok := randLabelArg(p, call)
+				if !ok {
+					return true
+				}
+				byLabel[label] = append(byLabel[label], randlabelSite{
+					pkg:   p.ImportPath,
+					pos:   p.Fset.Position(call.Pos()),
+					label: label,
+				})
+				return true
+			})
+		}
+	}
+	labels := make([]string, 0, len(byLabel))
+	for label := range byLabel {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+	var out []Finding
+	for _, label := range labels {
+		sites := byLabel[label]
+		pkgSet := make(map[string]bool)
+		for _, s := range sites {
+			pkgSet[s.pkg] = true
+		}
+		if len(pkgSet) < 2 {
+			continue
+		}
+		for _, s := range sites {
+			others := make([]string, 0, len(sites)-1)
+			for _, o := range sites {
+				if o.pkg != s.pkg {
+					others = append(others, o.pkg+" ("+shortPos(o.pos)+")")
+				}
+			}
+			sort.Strings(others)
+			out = append(out, Finding{s.pos, "randlabel",
+				"Engine.Rand(" + strconvQuote(label) + ") stream label is also derived in " + strings.Join(others, ", ") +
+					"; equal labels share one memoized stream, so each package's draws reorder the other's — qualify the label with the package name"})
+		}
+	}
+	return out
+}
+
+// randLabelArg returns the constant string label of an Engine.Rand call,
+// matched structurally (method named Rand on a type named Engine) so
+// testdata fakes and engine wrappers are covered.
+func randLabelArg(p *Package, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(p, call)
+	if fn == nil || fn.Name() != "Rand" {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	rt := sig.Recv().Type()
+	if ptr, ok := rt.(*types.Pointer); ok {
+		rt = ptr.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok || named.Obj().Name() != "Engine" {
+		return "", false
+	}
+	if len(call.Args) != 1 {
+		return "", false
+	}
+	tv, ok := p.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+func strconvQuote(s string) string {
+	return `"` + s + `"`
+}

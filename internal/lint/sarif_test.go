@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func decodeSARIF(t *testing.T, s string) sarifLog {
+	t.Helper()
+	var log sarifLog
+	if err := json.Unmarshal([]byte(s), &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, s)
+	}
+	return log
+}
+
+// TestWriteSARIF pins the shape code scanning depends on: version 2.1.0,
+// one rule per analyzer plus the suppress pseudo-rule, and results whose
+// URIs are slash-separated paths relative to the base directory.
+func TestWriteSARIF(t *testing.T) {
+	findings := []Finding{
+		{
+			Pos:      token.Position{Filename: "/repo/internal/sched/controller.go", Line: 42, Column: 7},
+			Analyzer: "taint",
+			Message:  "nondeterministic value reaches Engine.Schedule",
+		},
+		{
+			Pos:      token.Position{Filename: "/elsewhere/z.go", Line: 3},
+			Analyzer: "suppress",
+			Message:  "eslurmlint:ignore needs a reason",
+		},
+	}
+	var b strings.Builder
+	if err := WriteSARIF(&b, findings, Analyzers(), "/repo"); err != nil {
+		t.Fatal(err)
+	}
+	log := decodeSARIF(t, b.String())
+
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-schema-2.1.0") {
+		t.Errorf("version/schema = %q / %q", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "eslurmlint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	ruleIDs := make(map[string]bool)
+	for _, r := range run.Tool.Driver.Rules {
+		if r.ShortDescription.Text == "" {
+			t.Errorf("rule %s has no description", r.ID)
+		}
+		ruleIDs[r.ID] = true
+	}
+	for _, a := range Analyzers() {
+		if !ruleIDs[a.Name] {
+			t.Errorf("missing rule for analyzer %s", a.Name)
+		}
+	}
+	if !ruleIDs["suppress"] {
+		t.Error("missing rule for the suppress pseudo-analyzer")
+	}
+
+	if len(run.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(run.Results))
+	}
+	r0 := run.Results[0]
+	if r0.RuleID != "taint" || r0.Level != "error" {
+		t.Errorf("result 0 ruleId/level = %q/%q", r0.RuleID, r0.Level)
+	}
+	loc := r0.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/sched/controller.go" {
+		t.Errorf("uri = %q, want path relative to base dir", loc.ArtifactLocation.URI)
+	}
+	if loc.Region.StartLine != 42 || loc.Region.StartColumn != 7 {
+		t.Errorf("region = %+v", loc.Region)
+	}
+	// A file outside the base dir keeps its absolute path rather than
+	// escaping upward with ../ segments.
+	u1 := run.Results[1].Locations[0].PhysicalLocation.ArtifactLocation.URI
+	if strings.HasPrefix(u1, "..") {
+		t.Errorf("outside-base uri escapes upward: %q", u1)
+	}
+}
+
+// TestWriteSARIFEmpty: a clean run still emits a complete log with an
+// empty (not null) results array — upload actions reject null.
+func TestWriteSARIFEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := WriteSARIF(&b, nil, Analyzers(), "/repo"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"results": []`) {
+		t.Errorf("empty run must serialize results as []:\n%s", b.String())
+	}
+	log := decodeSARIF(t, b.String())
+	if len(log.Runs) != 1 || log.Runs[0].Results == nil {
+		t.Error("runs/results shape wrong for the empty log")
+	}
+}

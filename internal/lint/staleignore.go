@@ -1,0 +1,23 @@
+package lint
+
+// StaleignoreAnalyzer reports //eslurmlint:ignore directives that no
+// longer suppress anything. A stale ignore is a latent hole in the gate:
+// the code it excused has moved or been fixed, and the directive now sits
+// ready to silence the *next* — unrelated — finding that lands on its
+// line. The rule closes the suppression lifecycle: adding an ignore
+// requires a reason, and keeping one requires a finding.
+//
+// The pass is implemented inside the Run pipeline rather than as a
+// standalone Run/RunModule function, because it needs the one thing only
+// the pipeline knows: which directives were load-bearing after every
+// other analyzer ran and suppression filtering finished. A directive is
+// only judged when its analyzer was enabled for the invocation (an ignore
+// for a pass that did not run cannot be called stale), and a staleignore
+// finding can itself be suppressed — one level deep — with
+// //eslurmlint:ignore staleignore <reason> for directives that must
+// outlive their finding (e.g. code toggled by build tags the linter does
+// not see).
+var StaleignoreAnalyzer = &Analyzer{
+	Name: "staleignore",
+	Doc:  "flag //eslurmlint:ignore directives that no longer suppress any finding",
+}

@@ -1,30 +1,80 @@
 package lint
 
 import (
+	"go/token"
+	"sort"
 	"strings"
 )
 
-// A suppression silences findings of one analyzer on the comment's own
+// A suppression silences findings of one analyzer on the directive's own
 // line and on the line immediately below it (so it can ride at the end of
-// the offending line or stand alone above it).
+// the offending line or stand alone above it). One directive may name
+// several analyzers separated by commas:
+//
+//	//eslurmlint:ignore maporder,floatsum aggregation is order-independent
+//
+// Each named analyzer becomes its own suppression entry; the staleignore
+// analyzer judges every entry independently, so a half-stale directive is
+// still reported.
 type suppression struct {
 	file     string
 	line     int
 	analyzer string
 }
 
-type suppressionSet map[suppression]bool
+// supEntry is the mutable per-directive state behind a suppression key:
+// where the directive sits (for staleignore reporting) and whether it
+// actually silenced a finding during this run.
+type supEntry struct {
+	pos  token.Position
+	used bool
+}
 
+type suppressionSet map[suppression]*supEntry
+
+// covers reports whether a suppression silences the finding, and marks
+// the matching directive as load-bearing for the staleignore pass.
 func (s suppressionSet) covers(f Finding) bool {
-	return s[suppression{f.Pos.Filename, f.Pos.Line, f.Analyzer}] ||
-		s[suppression{f.Pos.Filename, f.Pos.Line - 1, f.Analyzer}]
+	for _, line := range []int{f.Pos.Line, f.Pos.Line - 1} {
+		if e, ok := s[suppression{f.Pos.Filename, line, f.Analyzer}]; ok {
+			e.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// unused returns the suppression keys of directives that silenced
+// nothing, restricted to analyzers in enabled (a directive for an
+// analyzer that did not run this invocation cannot be judged stale).
+// Entries for staleignore itself are excluded: they are consumed by the
+// staleignore pass's own filtering, one level deep by design.
+func (s suppressionSet) unused(enabled map[string]bool) []suppression {
+	var keys []suppression
+	for k, e := range s {
+		if !e.used && k.analyzer != "staleignore" && enabled[k.analyzer] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.line != b.line {
+			return a.line < b.line
+		}
+		return a.analyzer < b.analyzer
+	})
+	return keys
 }
 
 // collectSuppressions scans every comment in the package for
-// //eslurmlint:ignore directives. A directive must name a known analyzer
-// and give a non-empty reason; anything else is reported as a finding of
-// the pseudo-analyzer "suppress" so typos cannot silently disable the
-// gate. The harness-only //eslurmlint:testpath directive is tolerated.
+// //eslurmlint:ignore directives. A directive must name known analyzers
+// (comma-separated) and give a non-empty reason; anything else is
+// reported as a finding of the pseudo-analyzer "suppress" so typos cannot
+// silently disable the gate. The harness-only //eslurmlint:testpath
+// directive is tolerated.
 func collectSuppressions(p *Package, known map[string]bool) (suppressionSet, []Finding) {
 	sups := make(suppressionSet)
 	var malformed []Finding
@@ -45,9 +95,10 @@ func collectSuppressions(p *Package, known map[string]bool) (suppressionSet, []F
 				}
 				switch fields[0] {
 				case "ignore":
-					if len(fields) < 2 || !known[fields[1]] {
+					names, allKnown := splitAnalyzerList(fields, known)
+					if !allKnown {
 						malformed = append(malformed, Finding{pos, "suppress",
-							"eslurmlint:ignore must name a known analyzer (" + strings.Join(AnalyzerNames(), ", ") + ")"})
+							"eslurmlint:ignore must name known analyzers (" + strings.Join(AnalyzerNames(), ", ") + "), comma-separated"})
 						continue
 					}
 					if len(fields) < 3 {
@@ -55,7 +106,12 @@ func collectSuppressions(p *Package, known map[string]bool) (suppressionSet, []F
 							"eslurmlint:ignore " + fields[1] + " needs a reason explaining why the site is safe"})
 						continue
 					}
-					sups[suppression{pos.Filename, pos.Line, fields[1]}] = true
+					for _, name := range names {
+						key := suppression{pos.Filename, pos.Line, name}
+						if sups[key] == nil {
+							sups[key] = &supEntry{pos: pos}
+						}
+					}
 				case "testpath":
 					// Harness-only package-path override; inert in production runs.
 				default:
@@ -66,6 +122,23 @@ func collectSuppressions(p *Package, known map[string]bool) (suppressionSet, []F
 		}
 	}
 	return sups, malformed
+}
+
+// splitAnalyzerList parses the comma-separated analyzer list of an ignore
+// directive (fields[1]). It reports ok=false when the list is missing,
+// has empty elements ("a,,b" or a trailing comma), or names an unknown
+// analyzer.
+func splitAnalyzerList(fields []string, known map[string]bool) ([]string, bool) {
+	if len(fields) < 2 {
+		return nil, false
+	}
+	names := strings.Split(fields[1], ",")
+	for _, name := range names {
+		if name == "" || !known[name] {
+			return nil, false
+		}
+	}
+	return names, true
 }
 
 // testPathOverride returns the //eslurmlint:testpath value, if any. The

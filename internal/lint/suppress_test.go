@@ -68,8 +68,12 @@ func TestSuppressionMalformed(t *testing.T) {
 		wantMsg string
 	}{
 		{"//eslurmlint:ignore detrand", "needs a reason"},
-		{"//eslurmlint:ignore", "must name a known analyzer"},
-		{"//eslurmlint:ignore nosuchpass too clever", "must name a known analyzer"},
+		{"//eslurmlint:ignore", "must name known analyzers"},
+		{"//eslurmlint:ignore nosuchpass too clever", "must name known analyzers"},
+		{"//eslurmlint:ignore detrand,nosuchpass both streams are fixtures", "must name known analyzers"},
+		{"//eslurmlint:ignore detrand, walltime space after the comma splits the list", "must name known analyzers"},
+		{"//eslurmlint:ignore detrand,,walltime empty element", "must name known analyzers"},
+		{"//eslurmlint:ignore detrand \t ", "needs a reason"},
 		{"//eslurmlint:disable detrand whatever", "unknown eslurmlint directive"},
 		{"//eslurmlint:", "empty eslurmlint directive"},
 	}
@@ -86,6 +90,87 @@ func TestSuppressionMalformed(t *testing.T) {
 		if f := malformed[0]; f.Analyzer != "suppress" || !strings.Contains(f.Message, tc.wantMsg) {
 			t.Errorf("%q: finding %q does not mention %q", tc.src, f.Message, tc.wantMsg)
 		}
+	}
+}
+
+// TestSuppressionCommaList covers the multiple-analyzers-on-one-line
+// form: each named analyzer gets its own entry, scoped to the same two
+// lines, and analyzers not on the list stay uncovered.
+func TestSuppressionCommaList(t *testing.T) {
+	p := parseOnly(t, `package x
+
+//eslurmlint:ignore detrand,walltime fixture value, never reaches the simulation
+func f() {}
+`)
+	sups, malformed := collectSuppressions(p, knownAnalyzers)
+	if len(malformed) != 0 {
+		t.Fatalf("unexpected malformed findings: %v", malformed)
+	}
+	if len(sups) != 2 {
+		t.Fatalf("got %d suppression entries, want 2", len(sups))
+	}
+	for _, tc := range []struct {
+		analyzer string
+		line     int
+		want     bool
+	}{
+		{"detrand", 3, true},
+		{"detrand", 4, true},
+		{"walltime", 3, true},
+		{"walltime", 4, true},
+		{"maporder", 4, false}, // not on the list
+		{"detrand", 5, false},
+	} {
+		f := Finding{Analyzer: tc.analyzer}
+		f.Pos.Filename = "x.go"
+		f.Pos.Line = tc.line
+		if got := sups.covers(f); got != tc.want {
+			t.Errorf("covers(%s line %d) = %v, want %v", tc.analyzer, tc.line, got, tc.want)
+		}
+	}
+}
+
+// TestSuppressionLastLine pins the EOF edge: a directive on the final
+// line of a file still registers and covers its own line (its line-below
+// reach simply points past the file).
+func TestSuppressionLastLine(t *testing.T) {
+	src := "package x\n\nfunc f() {}\n\n//eslurmlint:ignore detrand trailing fixture note"
+	p := parseOnly(t, src)
+	sups, malformed := collectSuppressions(p, knownAnalyzers)
+	if len(malformed) != 0 {
+		t.Fatalf("unexpected malformed findings: %v", malformed)
+	}
+	f := Finding{Analyzer: "detrand"}
+	f.Pos.Filename = "x.go"
+	f.Pos.Line = 5
+	if !sups.covers(f) {
+		t.Fatal("last-line directive does not cover its own line")
+	}
+}
+
+// TestSuppressionUsedTracking pins the staleignore bookkeeping: covers()
+// marks the matched entry, and unused() only reports entries for enabled
+// analyzers, never staleignore's own.
+func TestSuppressionUsedTracking(t *testing.T) {
+	p := parseOnly(t, `package x
+
+//eslurmlint:ignore detrand used below
+//eslurmlint:ignore walltime never matches anything
+//eslurmlint:ignore errdrop analyzer not enabled this run
+func f() {}
+`)
+	known := map[string]bool{"detrand": true, "walltime": true, "errdrop": true, "staleignore": true}
+	sups, _ := collectSuppressions(p, known)
+	f := Finding{Analyzer: "detrand"}
+	f.Pos.Filename = "x.go"
+	f.Pos.Line = 4
+	if !sups.covers(f) {
+		t.Fatal("detrand finding not covered")
+	}
+	enabled := map[string]bool{"detrand": true, "walltime": true, "staleignore": true}
+	unused := sups.unused(enabled)
+	if len(unused) != 1 || unused[0].analyzer != "walltime" || unused[0].line != 4 {
+		t.Fatalf("unused = %+v, want the walltime directive on line 4 only", unused)
 	}
 }
 

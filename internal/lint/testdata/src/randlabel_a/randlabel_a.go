@@ -1,0 +1,26 @@
+//eslurmlint:testpath eslurm/internal/randlabel_a
+
+// Package randlabel_a shares the literal stream label "shared/stream"
+// with randlabel_b: both sites must fire. Same-package reuse and
+// non-constant labels stay silent.
+package randlabel_a
+
+// Engine mimics the simnet stream surface; randlabel matches by method
+// name and receiver type name.
+type Engine struct{}
+
+func (e *Engine) Rand(label string) int { return 0 }
+
+func Draw(e *Engine) int {
+	return e.Rand("shared/stream") // want "also derived in eslurm/internal/randlabel_b"
+}
+
+// Local and LocalAgain reuse a label inside one package: intentional
+// shared streams are a package-local decision, so this is silent.
+func Local(e *Engine) int {
+	return e.Rand("a/private")
+}
+
+func LocalAgain(e *Engine) int {
+	return e.Rand("a/private")
+}

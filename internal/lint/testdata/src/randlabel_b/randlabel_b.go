@@ -1,0 +1,19 @@
+//eslurmlint:testpath eslurm/internal/randlabel_b
+
+// Package randlabel_b is the other half of the cross-package label
+// collision with randlabel_a.
+package randlabel_b
+
+// Engine mimics the simnet stream surface.
+type Engine struct{}
+
+func (e *Engine) Rand(label string) int { return 0 }
+
+func Draw(e *Engine) int {
+	return e.Rand("shared/stream") // want "also derived in eslurm/internal/randlabel_a"
+}
+
+// Dynamic labels cannot be judged statically and are out of scope.
+func Dynamic(e *Engine, label string) int {
+	return e.Rand(label)
+}

@@ -1,0 +1,15 @@
+//eslurmlint:testpath eslurm/internal/randlabel_sup_a
+
+// Package randlabel_sup_a shares a label with randlabel_sup_b on
+// purpose; both sites carry the justification, so nothing fires.
+package randlabel_sup_a
+
+// Engine mimics the simnet stream surface.
+type Engine struct{}
+
+func (e *Engine) Rand(label string) int { return 0 }
+
+func Draw(e *Engine) int {
+	//eslurmlint:ignore randlabel deliberately shared arrival stream; the two packages model one workload source
+	return e.Rand("workload/arrivals")
+}

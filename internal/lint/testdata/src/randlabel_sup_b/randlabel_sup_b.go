@@ -1,0 +1,14 @@
+//eslurmlint:testpath eslurm/internal/randlabel_sup_b
+
+// Package randlabel_sup_b is the suppressed collision's other half.
+package randlabel_sup_b
+
+// Engine mimics the simnet stream surface.
+type Engine struct{}
+
+func (e *Engine) Rand(label string) int { return 0 }
+
+func Draw(e *Engine) int {
+	//eslurmlint:ignore randlabel deliberately shared arrival stream; the two packages model one workload source
+	return e.Rand("workload/arrivals")
+}

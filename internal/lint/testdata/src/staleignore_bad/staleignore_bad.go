@@ -1,0 +1,11 @@
+//eslurmlint:testpath eslurm/internal/staleignore_bad
+
+// Package staleignore_bad carries an ignore directive whose finding is
+// gone — the code it excused was fixed, the directive stayed. The
+// directive itself must fire.
+package staleignore_bad
+
+//eslurmlint:ignore walltime used to excuse a time.Now here before the fix // want "suppresses nothing"
+func Quiet() int {
+	return 42
+}

@@ -1,0 +1,13 @@
+//eslurmlint:testpath eslurm/internal/staleignore_good
+
+// Package staleignore_good carries a load-bearing ignore: walltime fires
+// on the call below and the directive absorbs it, so staleignore must
+// stay silent.
+package staleignore_good
+
+import "time"
+
+func Stamp() time.Time {
+	//eslurmlint:ignore walltime log decoration only, never feeds the simulation
+	return time.Now()
+}

@@ -1,0 +1,13 @@
+//eslurmlint:testpath eslurm/internal/staleignore_suppressed
+
+// Package staleignore_suppressed pins the one-level escape: a stale
+// ignore that must outlive its finding (here, standing in for a
+// build-tagged twin the linter cannot see) is excused by an explicit
+// staleignore suppression on the line above it.
+package staleignore_suppressed
+
+//eslurmlint:ignore staleignore the build-tagged twin of this file still reads the wall clock on this line
+//eslurmlint:ignore walltime wall-clock read lives in the build-tagged twin
+func Quiet() int {
+	return 7
+}

@@ -1,0 +1,21 @@
+//eslurmlint:testpath eslurm/internal/taint_suppressed
+
+// Package taint_suppressed pins that a taint finding is silenced by an
+// ignore directive with a reason at the sink call site.
+package taint_suppressed
+
+import "time"
+
+// Engine mimics the simnet scheduling surface.
+type Engine struct{}
+
+func (e *Engine) After(d time.Duration, fn func()) {}
+
+func bootDelay() time.Duration {
+	return time.Duration(time.Now().Unix() % 3)
+}
+
+func Boot(e *Engine) {
+	//eslurmlint:ignore taint pre-simulation startup jitter, injected before the trace digest begins
+	e.After(bootDelay(), func() {})
+}

@@ -1,0 +1,6 @@
+// Package testutil holds build-facts shared by test suites across
+// packages. It started as the home of RaceEnabled, which two packages
+// once had each re-derived with their own //go:build race twin files:
+// expensive soak tests budget for the race detector's ~5-10× slowdown by
+// shrinking iteration counts when it is on.
+package testutil
