@@ -15,6 +15,8 @@
 //	benchrunner -all                  # run every experiment
 //	benchrunner -all -parallel 4      # ...on exactly 4 workers
 //	benchrunner -all -json            # ...and write BENCH_quick.json
+//	benchrunner -exp fig8b -trace t.json   # Chrome trace of every engine
+//	benchrunner -exp fig8b -metrics        # dump each engine's registry
 package main
 
 import (
@@ -27,6 +29,8 @@ import (
 	"time"
 
 	"eslurm/internal/experiment"
+	"eslurm/internal/obs"
+	"eslurm/internal/simnet"
 	"eslurm/internal/simnet/benchkit"
 )
 
@@ -39,6 +43,8 @@ func main() {
 		csvDir   = flag.String("csv", "", "also write the Fig. 7/9 time-series CSVs into this directory")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "experiment worker-pool size (tables always print in registry order)")
 		jsonOut  = flag.Bool("json", false, "write a BENCH_<preset>.json perf record (suite stats + kernel microbench)")
+		trace    = flag.String("trace", "", "write a Chrome trace_event JSON of every engine to this file (forces serial execution)")
+		metrics  = flag.Bool("metrics", false, "dump each engine's metrics registry to stdout (forces serial execution)")
 	)
 	flag.Parse()
 
@@ -84,15 +90,27 @@ func main() {
 		os.Exit(2)
 	}
 
-	fmt.Fprintf(os.Stderr, "-- %d experiment(s), %s preset, %d worker(s)\n", len(specs), preset, *parallel)
-	suiteStart := time.Now()
-	results := experiment.RunConcurrent(specs, params, *parallel, func(r experiment.Result) {
+	if *trace != "" || *metrics {
+		// Engine collection is goroutine-scoped, so observability runs
+		// force the experiments onto the calling goroutine.
+		*parallel = 1
+	}
+	emit := func(r experiment.Result) {
 		fmt.Fprintf(os.Stderr, "-- %s (%s) done in %s: %d events, %.0f events/s\n",
 			r.Spec.ID, r.Spec.Artifact, r.Wall.Round(time.Millisecond), r.Events, r.EventsPerSec())
 		for _, tb := range r.Tables {
 			tb.Fprint(os.Stdout)
 		}
-	})
+	}
+
+	fmt.Fprintf(os.Stderr, "-- %d experiment(s), %s preset, %d worker(s)\n", len(specs), preset, *parallel)
+	suiteStart := time.Now()
+	var results []experiment.Result
+	if *trace != "" || *metrics {
+		results = runObserved(specs, params, *trace, *metrics, emit)
+	} else {
+		results = experiment.RunConcurrent(specs, params, *parallel, emit)
+	}
 	suiteWall := time.Since(suiteStart)
 	fmt.Fprintf(os.Stderr, "-- suite done in %s\n", suiteWall.Round(time.Millisecond))
 
@@ -104,6 +122,73 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "-- wrote %s\n", path)
 	}
+}
+
+// runObserved executes specs serially on the calling goroutine, arming
+// tracing on every engine each experiment constructs (simnet.CollectEngines
+// fires before any event runs, so spans cover from virtual time zero).
+// The Chrome file gets one process per engine — pid is the engine's index
+// across the whole run, the process name carries the experiment ID and the
+// engine's seed — and -metrics dumps each engine's registry in the same
+// order. Engines record passively, so tables stay byte-identical to an
+// untraced run.
+func runObserved(specs []experiment.Spec, params experiment.Params, tracePath string, metrics bool, emit func(experiment.Result)) []experiment.Result {
+	type observed struct {
+		exp string
+		e   *simnet.Engine
+	}
+	var all []observed
+	results := make([]experiment.Result, 0, len(specs))
+	for _, s := range specs {
+		start := time.Now()
+		var tables []*experiment.Table
+		engines := simnet.CollectEngines(func(e *simnet.Engine) {
+			if tracePath != "" {
+				e.EnableTracing()
+			}
+		}, func() { tables = s.Run(params) })
+		r := experiment.Result{Spec: s, Tables: tables, Wall: time.Since(start)}
+		for _, e := range engines {
+			r.Events += e.Processed()
+			all = append(all, observed{exp: s.ID, e: e})
+		}
+		results = append(results, r)
+		if emit != nil {
+			emit(r)
+		}
+	}
+
+	if tracePath != "" {
+		procs := make([]obs.Process, 0, len(all))
+		for i, o := range all {
+			procs = append(procs, obs.Process{
+				PID:  i,
+				Name: fmt.Sprintf("%s engine %d seed %d", o.exp, i, o.e.Seed()),
+				T:    o.e.Tracer(),
+			})
+		}
+		f, err := os.Create(tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := obs.WriteChrome(f, procs...); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "-- trace: %d engine(s) -> %s\n", len(procs), tracePath)
+	}
+	if metrics {
+		for i, o := range all {
+			fmt.Printf("metrics %s engine %d seed %d:\n", o.exp, i, o.e.Seed())
+			o.e.Metrics().WriteText(os.Stdout)
+		}
+	}
+	return results
 }
 
 // A perfRecord is the benchmark trajectory the repo commits per preset:

@@ -14,6 +14,8 @@
 //	chaossoak -seeds 4                # CI smoke
 //	chaossoak -seeds 1 -seed 7        # replay one seed
 //	chaossoak -loss 0.05 -dup 0.05    # crank the network adversities
+//	chaossoak -trace soak.json        # Chrome/Perfetto trace, one pid per seed
+//	chaossoak -metrics                # dump each seed's metrics registry
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"os"
 
 	"eslurm/internal/chaos"
+	"eslurm/internal/obs"
 )
 
 func main() {
@@ -36,6 +39,8 @@ func main() {
 	loss := flag.Float64("loss", cfg.LossProb, "message loss probability")
 	dup := flag.Float64("dup", cfg.DupProb, "message duplication probability")
 	silent := flag.Float64("silent", cfg.SilentFraction, "fraction of fail-stops hidden from monitoring")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of every seed to this file")
+	metrics := flag.Bool("metrics", false, "dump each seed's metrics registry after the report")
 	flag.Parse()
 
 	cfg.Seeds = *seeds
@@ -48,9 +53,43 @@ func main() {
 	cfg.LossProb = *loss
 	cfg.DupProb = *dup
 	cfg.SilentFraction = *silent
+	cfg.Trace = *tracePath != ""
 
 	rep := chaos.Soak(cfg)
 	fmt.Print(rep.String())
+
+	if *tracePath != "" {
+		// One trace process per seed, pid = seed, so Perfetto shows the
+		// soak side by side. Same flags → byte-identical file.
+		procs := make([]obs.Process, 0, len(rep.Seeds))
+		for _, s := range rep.Seeds {
+			procs = append(procs, obs.Process{
+				PID:  int(s.Seed),
+				Name: fmt.Sprintf("chaossoak seed %d", s.Seed),
+				T:    s.Trace,
+			})
+		}
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chaossoak:", err)
+			os.Exit(2)
+		}
+		if err := obs.WriteChrome(f, procs...); err != nil {
+			fmt.Fprintln(os.Stderr, "chaossoak:", err)
+			os.Exit(2)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "chaossoak:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("trace: %d seeds -> %s\n", len(procs), *tracePath)
+	}
+	if *metrics {
+		for _, s := range rep.Seeds {
+			fmt.Printf("metrics seed %d:\n", s.Seed)
+			s.Metrics.WriteText(os.Stdout)
+		}
+	}
 	if rep.Violations() > 0 {
 		os.Exit(1)
 	}

@@ -1,0 +1,72 @@
+// Doc-drift gates: the documentation makes checkable claims about the
+// code (the README's analyzer table mirrors the linter registry; relative
+// markdown links point at files that exist), and these tests fail when
+// either drifts. They are the dynamic half of the documentation contract
+// whose static half is the lint pkgdoc analyzer.
+package eslurm_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"eslurm/internal/lint"
+)
+
+// TestREADMEAnalyzerTable pins the README's analyzer table to the linter
+// registry, byte for byte, in the exact format `eslurmlint -list` prints.
+// Adding, renaming or re-documenting an analyzer without updating the
+// README fails here with the block to paste.
+func TestREADMEAnalyzerTable(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("| analyzer | rule |\n")
+	b.WriteString("|----------|------|\n")
+	for _, a := range lint.Analyzers() {
+		fmt.Fprintf(&b, "| `%s` | %s |\n", a.Name, a.Doc)
+	}
+	want := b.String()
+
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(readme), want) {
+		t.Errorf("README.md analyzer table drifted from the lint registry.\n"+
+			"Replace the table with the output of `eslurmlint -list`:\n\n%s", want)
+	}
+}
+
+// mdLink matches inline markdown links/images; the destination is group 1.
+var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// TestMarkdownLinksResolve walks the top-level docs and checks that every
+// relative link destination exists on disk. External URLs and pure
+// in-page anchors are out of scope — only file references can rot here.
+func TestMarkdownLinksResolve(t *testing.T) {
+	for _, doc := range []string{"README.md", "DESIGN.md", "EXPERIMENTS.md"} {
+		data, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			dest := m[1]
+			if strings.Contains(dest, "://") || strings.HasPrefix(dest, "#") ||
+				strings.HasPrefix(dest, "mailto:") {
+				continue
+			}
+			// A link may carry an in-page anchor: DESIGN.md#observability.
+			if i := strings.IndexByte(dest, '#'); i >= 0 {
+				dest = dest[:i]
+			}
+			if dest == "" {
+				continue
+			}
+			if _, err := os.Stat(filepath.FromSlash(dest)); err != nil {
+				t.Errorf("%s links to %q, which does not resolve: %v", doc, m[1], err)
+			}
+		}
+	}
+}

@@ -4,6 +4,11 @@
 // (block-seeking, minimizing fragmentation), and topology-aware
 // (minimizing racks spanned, which keeps MPI traffic rack-local and job
 // launch broadcasts shallow).
+//
+// Determinism: every policy is a pure function of the free list's order —
+// no RNG, no map iteration, no clocks — so the same cluster state always
+// yields the same placement, which the same-seed ⇒ same-trace contract
+// requires of anything the scheduler calls.
 package alloc
 
 import (

@@ -30,6 +30,7 @@ import (
 	"eslurm/internal/core"
 	"eslurm/internal/faults"
 	"eslurm/internal/monitor"
+	"eslurm/internal/obs"
 	"eslurm/internal/simnet"
 )
 
@@ -67,6 +68,11 @@ type Config struct {
 	// backoff policy (4 attempts, 50ms base, ×2, 2s cap, 30s deadline,
 	// 0.5 jitter) so the adversarial retry path is exercised.
 	Retry *comm.RetryPolicy
+	// Trace enables simulated-time span recording on each seed's engine;
+	// the tracer and metrics registry come back on the SeedResult. Tracing
+	// is passive recording — it does not change any seed's event trace,
+	// report, or digest.
+	Trace bool
 }
 
 func (c Config) withDefaults() Config {
@@ -132,6 +138,11 @@ type SeedResult struct {
 	Takeovers        int
 	DrainedFallbacks int
 	Violations       []string
+	// Trace is the seed engine's span recording (nil unless Config.Trace);
+	// Metrics is its registry. Neither contributes to Report.String or
+	// Digest — the report stays byte-stable with tracing on or off.
+	Trace   *obs.Tracer
+	Metrics *obs.Registry
 }
 
 // Report is a full soak's outcome. Its String form is byte-stable for a
@@ -208,6 +219,9 @@ func RunSeed(cfg Config, seed int64) SeedResult {
 	}
 
 	e := simnet.NewEngine(seed)
+	if cfg.Trace {
+		e.EnableTracing()
+	}
 	c := cluster.New(e, cluster.Config{
 		Computes:   cfg.Computes,
 		Satellites: cfg.Satellites,
@@ -267,6 +281,8 @@ func RunSeed(cfg Config, seed int64) SeedResult {
 	sr.Takeovers = st.MasterTakeovers
 	sr.DrainedFallbacks = st.PoolDrainedFallbacks
 	sr.Events = e.Processed()
+	sr.Trace = e.Tracer()
+	sr.Metrics = e.Metrics()
 
 	// Invariant 4 (no stalls): every driven broadcast resolved by drain.
 	if sr.Broadcasts != cfg.Broadcasts {

@@ -9,6 +9,7 @@ import (
 	"eslurm/internal/comm"
 	"eslurm/internal/core"
 	"eslurm/internal/monitor"
+	"eslurm/internal/obs"
 	"eslurm/internal/satellite"
 	"eslurm/internal/simnet"
 	"eslurm/internal/testutil"
@@ -157,6 +158,51 @@ func TestDrainedPoolFallback(t *testing.T) {
 	h := m.PoolHealth()
 	if !h.Drained() || h.Alive() != 0 {
 		t.Errorf("final pool health not drained: %+v", h)
+	}
+}
+
+// TestTraceDeterminism pins the observability determinism contract: the
+// same seed soaked twice with tracing enabled yields byte-identical span
+// recordings and Chrome exports, and enabling tracing does not move the
+// report digest off its pin.
+func TestTraceDeterminism(t *testing.T) {
+	cfg := pinCfg()
+	cfg.Seeds = 1
+	cfg.Trace = true
+
+	run := func() SeedResult { return RunSeed(cfg, cfg.BaseSeed) }
+	a, b := run(), run()
+	if a.Trace == nil || b.Trace == nil {
+		t.Fatal("Config.Trace did not arm the tracer")
+	}
+	if a.Trace.Len() == 0 {
+		t.Fatal("soak recorded zero spans with tracing on")
+	}
+	if da, db := a.Trace.Digest(), b.Trace.Digest(); da != db {
+		t.Fatalf("same seed produced different trace digests: %x vs %x", da, db)
+	}
+
+	var ca, cb strings.Builder
+	if err := obs.WriteChrome(&ca, obs.Process{PID: int(a.Seed), Name: "seed", T: a.Trace}); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteChrome(&cb, obs.Process{PID: int(b.Seed), Name: "seed", T: b.Trace}); err != nil {
+		t.Fatal(err)
+	}
+	if ca.String() != cb.String() {
+		t.Fatal("same seed produced different Chrome exports")
+	}
+
+	// The pinned digest must not care whether tracing was on.
+	traced := Soak(func() Config { c := pinCfg(); c.Trace = true; return c }())
+	if got := traced.Digest(); got != pinnedDigest {
+		t.Errorf("tracing moved the report digest: %s != pinned %s", got, pinnedDigest)
+	}
+
+	// Registry metrics cover at least the driven broadcasts' retries (the
+	// registry also sees heartbeat and task traffic the report does not).
+	if n := a.Metrics.Counter("comm.retries").Value(); int(n) < a.Retries {
+		t.Errorf("registry comm.retries = %d < report's %d", n, a.Retries)
 	}
 }
 

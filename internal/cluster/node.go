@@ -6,6 +6,10 @@
 // The paper evaluates on Tianhe-2A (16,384 nodes) and NG-Tianhe (20K+
 // nodes); this package is the simulated stand-in for those machines (see
 // DESIGN.md, "Substitutions").
+//
+// Determinism: all state changes (failures, recoveries, meter charges)
+// happen inside events on the owning simnet engine, and network jitter
+// draws from the engine's labeled RNG streams — same seed, same trace.
 package cluster
 
 import (

@@ -12,6 +12,12 @@
 // For relay structures (ring, tree) the fault-tolerance mechanism then
 // re-routes around the failed node: the ring skips it, the tree parent
 // adopts the failed child's subtree.
+//
+// Determinism: all delivery, retry and adoption logic runs as events on
+// the broadcaster's engine, with backoff jitter drawn from labeled RNG
+// streams — same seed, same delivery schedule. The comm.* spans and
+// counters recorded through the obs layer are passive observations and
+// never alter that schedule.
 package comm
 
 import (
@@ -20,6 +26,7 @@ import (
 
 	"eslurm/internal/cluster"
 	"eslurm/internal/fptree"
+	"eslurm/internal/obs"
 	"eslurm/internal/predict"
 	"eslurm/internal/simnet"
 )
@@ -128,10 +135,56 @@ type Broadcaster struct {
 	// target) at the virtual instant the target resolves — delivered or
 	// declared unreachable. It must not schedule events.
 	OnResolve func(to cluster.NodeID, ok bool)
+	// SpanParent, when non-zero, parents the *next* broadcast's root
+	// span: the master sets it immediately before handing a sub-list to
+	// a Structure (which builds its tracker synchronously), and the
+	// tracker consumes and clears it. Zero — the default — makes
+	// broadcast spans roots.
+	SpanParent obs.SpanID
 
 	limiters map[cluster.NodeID]*limiter
-	slots    int // connection slots in use or queued, across all senders
 	retryRng *rand.Rand
+	in       *instruments
+}
+
+// instruments caches the broadcaster's registry handles so hot paths pay
+// a field read, not a map lookup. Built on first use from the engine's
+// registry (see simnet.Engine.Metrics).
+type instruments struct {
+	delivered   *obs.Counter
+	unreachable *obs.Counter
+	messages    *obs.Counter
+	retries     *obs.Counter
+	outstanding *obs.Gauge
+	elapsed     *obs.Histogram
+}
+
+// broadcastElapsedBounds are the comm.broadcast_elapsed_ns bucket edges:
+// decades from 1 ms to 1000 s, covering a healthy in-rack delivery
+// through a full retry-and-timeout drain.
+var broadcastElapsedBounds = []int64{
+	int64(time.Millisecond),
+	int64(10 * time.Millisecond),
+	int64(100 * time.Millisecond),
+	int64(time.Second),
+	int64(10 * time.Second),
+	int64(100 * time.Second),
+	int64(1000 * time.Second),
+}
+
+func (b *Broadcaster) inst() *instruments {
+	if b.in == nil {
+		m := b.engine().Metrics()
+		b.in = &instruments{
+			delivered:   m.Counter("comm.delivered"),
+			unreachable: m.Counter("comm.unreachable"),
+			messages:    m.Counter("comm.messages"),
+			retries:     m.Counter("comm.retries"),
+			outstanding: m.Gauge("comm.outstanding_sends"),
+			elapsed:     m.Histogram("comm.broadcast_elapsed_ns", broadcastElapsedBounds),
+		}
+	}
+	return b.in
 }
 
 // NewBroadcaster returns a Broadcaster with the paper's defaults.
@@ -217,21 +270,40 @@ func (b *Broadcaster) retryDelay(next int) time.Duration {
 // send delivers one message with retries, occupying a connection slot of
 // the sender from dispatch until resolution. cb receives true on delivery,
 // exactly once: duplicated deliveries (NetConfig.DupProb) are deduplicated
-// here, so Delivered never double-counts a target.
-func (b *Broadcaster) send(from, to cluster.NodeID, size int, res *Result, cb func(ok bool)) {
+// here, so Delivered never double-counts a target. parent, when tracing
+// is enabled, parents the delivery-chain span (comm.send) under the
+// broadcast that issued it.
+func (b *Broadcaster) send(from, to cluster.NodeID, size int, res *Result, parent obs.SpanID, cb func(ok bool)) {
 	e := b.engine()
+	in := b.inst()
 	lim := b.limiter(from)
-	b.slots++
+	in.outstanding.Add(1)
+	tr := e.Tracer()
+	span := tr.Start("comm.send", parent, obs.Int("from", int(from)), obs.Int("to", int(to)))
 	lim.acquire(func() {
 		attempts := 0
 		resolved := false
 		chainStart := e.Now()
+		settle := func(ok bool) {
+			resolved = true
+			in.outstanding.Add(-1)
+			tr.SetAttrInt(span, "attempts", attempts)
+			if !ok {
+				tr.SetAttr(span, "ok", "false")
+			}
+			tr.End(span)
+			lim.release()
+			cb(ok)
+		}
 		var attempt func()
 		attempt = func() {
 			attempts++
 			res.Messages++
+			in.messages.Inc()
 			if attempts > 1 {
 				res.Retries++
+				in.retries.Inc()
+				tr.Instant("comm.retry", span, obs.Int("attempt", attempts))
 			}
 			b.Cluster.Node(from).Meter.ChargeCPU(b.SendOverhead)
 			e.After(b.SendOverhead, func() {
@@ -240,10 +312,7 @@ func (b *Broadcaster) send(from, to cluster.NodeID, size int, res *Result, cb fu
 						if resolved {
 							return
 						}
-						resolved = true
-						b.slots--
-						lim.release()
-						cb(true)
+						settle(true)
 					},
 					func() { // attempt failed
 						if resolved {
@@ -257,10 +326,7 @@ func (b *Broadcaster) send(from, to cluster.NodeID, size int, res *Result, cb fu
 							}
 							return
 						}
-						resolved = true
-						b.slots--
-						lim.release()
-						cb(false)
+						settle(false)
 					})
 			})
 		}
@@ -277,8 +343,9 @@ func (b *Broadcaster) pastDeadline(start time.Duration) bool {
 // OutstandingSends returns the number of delivery chains currently in
 // flight (holding or queued for a connection slot) across all senders.
 // Zero means the communication layer is fully drained — a teardown
-// invariant the chaos harness checks.
-func (b *Broadcaster) OutstandingSends() int { return b.slots }
+// invariant the chaos harness checks. The count lives in the registry
+// gauge comm.outstanding_sends; this accessor is the back-compat view.
+func (b *Broadcaster) OutstandingSends() int { return int(b.inst().outstanding.Value()) }
 
 // relayDelay returns the relay processing cost at a node: RelayOverhead,
 // inflated by the node's gray-failure factor when it is degraded.
@@ -293,13 +360,18 @@ func (b *Broadcaster) relayDelay(id cluster.NodeID) time.Duration {
 // Send delivers one point-to-point message with the broadcaster's retry
 // policy, outside of any broadcast. cb receives true on delivery, false
 // once all attempts are exhausted. Used by the master daemon for
-// master↔satellite task hand-offs and heartbeats.
+// master↔satellite task hand-offs and heartbeats. The delivery-chain
+// span, if tracing is on, is parented under the consumed SpanParent.
 func (b *Broadcaster) Send(from, to cluster.NodeID, size int, cb func(ok bool)) {
 	var scratch Result
-	b.send(from, to, size, &scratch, cb)
+	parent := b.SpanParent
+	b.SpanParent = 0
+	b.send(from, to, size, &scratch, parent, cb)
 }
 
-// tracker counts outstanding deliveries and finalizes the Result.
+// tracker counts outstanding deliveries and finalizes the Result. It
+// also owns the broadcast's root span (comm.broadcast) and feeds the
+// registry's delivery counters and latency histogram.
 type tracker struct {
 	b       *Broadcaster
 	engine  *simnet.Engine
@@ -307,11 +379,16 @@ type tracker struct {
 	pending int
 	res     Result
 	done    func(Result)
+	span    obs.SpanID
 }
 
-func newTracker(b *Broadcaster, pending int, done func(Result)) *tracker {
+func newTracker(b *Broadcaster, structure string, pending int, done func(Result)) *tracker {
 	e := b.engine()
 	t := &tracker{b: b, engine: e, start: e.Now(), pending: pending, done: done}
+	parent := b.SpanParent
+	b.SpanParent = 0
+	t.span = e.Tracer().Start("comm.broadcast", parent,
+		obs.String("structure", structure), obs.Int("targets", pending))
 	if pending == 0 {
 		t.finish()
 	}
@@ -324,6 +401,7 @@ func (t *tracker) resolve(res *Result, id cluster.NodeID, ok bool) {
 	}
 	if ok {
 		res.Delivered++
+		t.b.inst().delivered.Inc()
 		if t.b.RecordResolved {
 			res.Resolved = append(res.Resolved, id)
 		}
@@ -332,6 +410,7 @@ func (t *tracker) resolve(res *Result, id cluster.NodeID, ok bool) {
 		}
 	} else {
 		res.Unreachable = append(res.Unreachable, id)
+		t.b.inst().unreachable.Inc()
 	}
 	t.pending--
 	if t.pending == 0 {
@@ -343,6 +422,12 @@ func (t *tracker) add(n int) { t.pending += n }
 
 func (t *tracker) finish() {
 	t.res.Elapsed = t.engine.Now() - t.start
+	t.b.inst().elapsed.Observe(int64(t.res.Elapsed))
+	if tr := t.engine.Tracer(); tr != nil {
+		tr.SetAttrInt(t.span, "delivered", t.res.Delivered)
+		tr.SetAttrInt(t.span, "unreachable", len(t.res.Unreachable))
+		tr.End(t.span)
+	}
 	if t.done != nil {
 		t.done(t.res)
 	}
@@ -371,10 +456,10 @@ func (Star) Name() string { return "star" }
 
 // Broadcast implements Structure.
 func (Star) Broadcast(b *Broadcaster, origin cluster.NodeID, targets []cluster.NodeID, size int, done func(Result)) {
-	t := newTracker(b, len(targets), done)
+	t := newTracker(b, "star", len(targets), done)
 	for _, id := range targets {
 		id := id
-		b.send(origin, id, size, &t.res, func(ok bool) { t.resolve(&t.res, id, ok) })
+		b.send(origin, id, size, &t.res, t.span, func(ok bool) { t.resolve(&t.res, id, ok) })
 	}
 }
 
@@ -390,7 +475,7 @@ func (Ring) Name() string { return "ring" }
 
 // Broadcast implements Structure.
 func (Ring) Broadcast(b *Broadcaster, origin cluster.NodeID, targets []cluster.NodeID, size int, done func(Result)) {
-	t := newTracker(b, len(targets), done)
+	t := newTracker(b, "ring", len(targets), done)
 	ids := append([]cluster.NodeID(nil), targets...)
 	var hop func(from cluster.NodeID, idx int)
 	hop = func(from cluster.NodeID, idx int) {
@@ -400,7 +485,7 @@ func (Ring) Broadcast(b *Broadcaster, origin cluster.NodeID, targets []cluster.N
 		to := ids[idx]
 		// The relay message carries the remaining list.
 		sz := size + (len(ids)-idx)*b.PerNodeListBytes
-		b.send(from, to, sz, &t.res, func(ok bool) {
+		b.send(from, to, sz, &t.res, t.span, func(ok bool) {
 			t.resolve(&t.res, to, ok)
 			if ok {
 				d := b.relayDelay(to)
@@ -440,7 +525,7 @@ func (s SharedMem) Broadcast(b *Broadcaster, origin cluster.NodeID, targets []cl
 		st = 1200 * time.Microsecond
 	}
 	e := b.engine()
-	t := newTracker(b, len(targets), done)
+	t := newTracker(b, "sharedmem", len(targets), done)
 	// Publish: one write into the shared segment.
 	b.Cluster.Node(origin).Meter.ChargeCPU(b.SendOverhead)
 	timeout := b.Cluster.Net.Config().ConnectTimeout
@@ -458,6 +543,7 @@ func (s SharedMem) Broadcast(b *Broadcaster, origin cluster.NodeID, targets []cl
 		queue += st
 		delay := queue + b.Cluster.Net.TransferTime(size)
 		t.res.Messages++
+		b.inst().messages.Inc()
 		e.After(delay, func() {
 			// The node may have failed while queued behind earlier fetches
 			// (a mid-broadcast failure): its fetch never happens and the
@@ -495,15 +581,18 @@ func (k KTree) width() int {
 
 // Broadcast implements Structure.
 func (k KTree) Broadcast(b *Broadcaster, origin cluster.NodeID, targets []cluster.NodeID, size int, done func(Result)) {
+	span := b.engine().Tracer().Start("fptree.build", b.SpanParent,
+		obs.Int("targets", len(targets)), obs.Int("width", k.width()))
 	tr := fptree.Build(append([]cluster.NodeID(nil), targets...), k.width())
-	broadcastTree(b, origin, tr, size, done)
+	b.engine().Tracer().End(span)
+	broadcastTree(b, "tree", origin, tr, size, done)
 }
 
 // broadcastTree relays a payload down a materialized tree with parent-
 // adoption fault tolerance.
-func broadcastTree(b *Broadcaster, origin cluster.NodeID, tr *fptree.Tree[cluster.NodeID], size int, done func(Result)) {
+func broadcastTree(b *Broadcaster, structure string, origin cluster.NodeID, tr *fptree.Tree[cluster.NodeID], size int, done func(Result)) {
 	e := b.engine()
-	t := newTracker(b, tr.Size(), done)
+	t := newTracker(b, structure, tr.Size(), done)
 
 	var dispatch func(from cluster.NodeID, n *fptree.Node[cluster.NodeID])
 	subtreeSize := func(n *fptree.Node[cluster.NodeID]) int {
@@ -521,7 +610,7 @@ func broadcastTree(b *Broadcaster, origin cluster.NodeID, tr *fptree.Tree[cluste
 	}
 	dispatch = func(from cluster.NodeID, n *fptree.Node[cluster.NodeID]) {
 		sz := size + subtreeSize(n)*b.PerNodeListBytes
-		b.send(from, n.Value, sz, &t.res, func(ok bool) {
+		b.send(from, n.Value, sz, &t.res, t.span, func(ok bool) {
 			t.resolve(&t.res, n.Value, ok)
 			if ok {
 				if len(n.Children) == 0 {
@@ -615,8 +704,14 @@ func (f FPTree) Broadcast(b *Broadcaster, origin cluster.NodeID, targets []clust
 	if pred == nil {
 		pred = predict.Null{}
 	}
+	trc := b.engine().Tracer()
+	span := trc.Start("fptree.plan", b.SpanParent,
+		obs.Int("targets", len(targets)), obs.Int("width", f.width()))
 	list := f.Plan(targets)
+	trc.End(span)
+	span = trc.Start("fptree.build", b.SpanParent, obs.Int("targets", len(list)))
 	tr := fptree.Build(list, f.width())
+	trc.End(span)
 	if f.Stats != nil {
 		f.Stats.TreesBuilt++
 		f.Stats.NodesTotal += len(list)
@@ -630,7 +725,7 @@ func (f FPTree) Broadcast(b *Broadcaster, origin cluster.NodeID, targets []clust
 			}
 		}
 	}
-	broadcastTree(b, origin, tr, size, done)
+	broadcastTree(b, "fptree", origin, tr, size, done)
 }
 
 // ---------------------------------------------------------------------------
@@ -649,7 +744,7 @@ func (Binomial) Name() string { return "binomial" }
 
 // Broadcast implements Structure.
 func (Binomial) Broadcast(b *Broadcaster, origin cluster.NodeID, targets []cluster.NodeID, size int, done func(Result)) {
-	t := newTracker(b, len(targets), done)
+	t := newTracker(b, "binomial", len(targets), done)
 	ids := append([]cluster.NodeID(nil), targets...)
 
 	// relay(holder, lo, hi): holder (origin for the root call, otherwise
@@ -664,7 +759,7 @@ func (Binomial) Broadcast(b *Broadcaster, origin cluster.NodeID, targets []clust
 		}
 		head := ids[lo]
 		sz := size + (hi-lo)*b.PerNodeListBytes
-		b.send(holder, head, sz, &t.res, func(ok bool) {
+		b.send(holder, head, sz, &t.res, t.span, func(ok bool) {
 			t.resolve(&t.res, head, ok)
 			mid := lo + 1 + (hi-lo-1)/2
 			if ok {

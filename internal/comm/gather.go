@@ -5,6 +5,7 @@ import (
 
 	"eslurm/internal/cluster"
 	"eslurm/internal/fptree"
+	"eslurm/internal/obs"
 	"eslurm/internal/predict"
 )
 
@@ -77,8 +78,16 @@ func (g GatherTree) BroadcastGather(b *Broadcaster, origin cluster.NodeID, targe
 	if pred == nil {
 		pred = predict.Null{}
 	}
+	trc := e.Tracer()
+	span := trc.Start("comm.broadcast", b.SpanParent,
+		obs.String("structure", "gathertree"), obs.Int("targets", len(targets)))
+	b.SpanParent = 0
+	planSpan := trc.Start("fptree.plan", span, obs.Int("targets", len(targets)), obs.Int("width", g.width()))
 	list := fptree.Rearrange(targets, func(id cluster.NodeID) bool { return pred.Predicted(id) }, g.width())
+	trc.End(planSpan)
+	buildSpan := trc.Start("fptree.build", span, obs.Int("targets", len(list)))
 	tr := fptree.Build(list, g.width())
+	trc.End(buildSpan)
 
 	res := GatherResult{}
 	var lastDelivery time.Duration
@@ -101,7 +110,7 @@ func (g GatherTree) BroadcastGather(b *Broadcaster, origin cluster.NodeID, targe
 	var visit func(from cluster.NodeID, n *fptree.Node[cluster.NodeID], reply func(subReply))
 	visit = func(from cluster.NodeID, n *fptree.Node[cluster.NodeID], reply func(subReply)) {
 		sz := size + subtreeSize(n)*b.PerNodeListBytes
-		b.send(from, n.Value, sz, &res.Result, func(delivered bool) {
+		b.send(from, n.Value, sz, &res.Result, span, func(delivered bool) {
 			if !delivered {
 				// Adoption: `from` contacts the dead child's children
 				// directly and merges their replies itself.
@@ -139,7 +148,7 @@ func (g GatherTree) BroadcastGather(b *Broadcaster, origin cluster.NodeID, targe
 				// degraded to local bookkeeping so the gather still
 				// terminates.
 				aggSz := (len(merged.ok) + len(merged.bad)) * g.ackBytes()
-				b.send(n.Value, from, aggSz, &res.Result, func(bool) { reply(merged) })
+				b.send(n.Value, from, aggSz, &res.Result, span, func(bool) { reply(merged) })
 			}
 			if len(n.Children) == 0 {
 				e.After(b.relayDelay(n.Value), finish)
@@ -161,9 +170,22 @@ func (g GatherTree) BroadcastGather(b *Broadcaster, origin cluster.NodeID, targe
 		})
 	}
 
+	// seal finalizes the registry instruments and the root span once the
+	// origin holds the complete aggregate (or the target list was empty).
+	seal := func() {
+		in := b.inst()
+		in.delivered.Add(int64(res.Delivered))
+		in.unreachable.Add(int64(len(res.Unreachable)))
+		in.elapsed.Observe(int64(res.Elapsed))
+		trc.SetAttrInt(span, "delivered", res.Delivered)
+		trc.SetAttrInt(span, "unreachable", len(res.Unreachable))
+		trc.End(span)
+	}
+
 	pending := len(tr.Roots)
 	if pending == 0 {
 		res.Elapsed = 0
+		seal()
 		if done != nil {
 			done(res)
 		}
@@ -181,6 +203,7 @@ func (g GatherTree) BroadcastGather(b *Broadcaster, origin cluster.NodeID, targe
 				res.Elapsed = e.Now() - start
 				res.AggregatedAt = res.Elapsed
 				res.DeliveredElapsed = lastDelivery
+				seal()
 				if done != nil {
 					done(res)
 				}

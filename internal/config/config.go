@@ -5,6 +5,10 @@
 // key=value lines (with Slurm's one-line NodeName/PartitionName records)
 // plus the ESlurm additions: SatelliteNodes, TreeWidth, ReallocLimit and
 // the runtime-estimation parameters of Section V-A.
+//
+// Determinism: parsing is pure — no simulation state, no RNG, no clocks —
+// so this package sits outside the engine's same-seed ⇒ same-trace
+// contract and cannot perturb it.
 package config
 
 import (

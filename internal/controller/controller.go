@@ -14,6 +14,10 @@
 // RUNNING → COMPLETING → COMPLETED (or TIMEOUT at their applied walltime),
 // with every launch and termination carried by real satellite broadcasts
 // on the simulated cluster.
+//
+// Determinism: the daemon is driven entirely by events on one simnet
+// engine and breaks priority ties by job ID, so a given trace and seed
+// replay to the identical schedule.
 package controller
 
 import (

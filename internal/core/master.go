@@ -15,6 +15,12 @@
 //     machine of package satellite,
 //   - tracks job and node state, charging its resource meter the way the
 //     production slurmctld-derived daemon does.
+//
+// Determinism: every master action — dispatch, watchdog, reallocation,
+// heartbeat sweep — runs as an event on the cluster's engine, so the same
+// seed replays the identical broadcast schedule bit for bit; the obs
+// spans and counters it records are passive and never feed back into the
+// simulation.
 package core
 
 import (
@@ -24,6 +30,7 @@ import (
 	"eslurm/internal/cluster"
 	"eslurm/internal/comm"
 	"eslurm/internal/fptree"
+	"eslurm/internal/obs"
 	"eslurm/internal/predict"
 	"eslurm/internal/proto"
 	"eslurm/internal/satellite"
@@ -114,7 +121,9 @@ func DefaultConfig() Config {
 	}
 }
 
-// Stats counts master-level events for the experiment reports.
+// Stats counts master-level events for the experiment reports. The
+// counts live in the engine's metrics registry (master.* counters);
+// Stats is the back-compat snapshot view Master.Stats assembles from it.
 type Stats struct {
 	Broadcasts      int
 	SubTasks        int
@@ -125,6 +134,28 @@ type Stats struct {
 	// the whole pool had drained to FAULT/DOWN (the graceful-degradation
 	// path), a subset of MasterTakeovers.
 	PoolDrainedFallbacks int
+}
+
+// masterInstruments caches the master's registry handles (one lookup at
+// construction, field reads afterwards).
+type masterInstruments struct {
+	broadcasts       *obs.Counter
+	subTasks         *obs.Counter
+	reallocations    *obs.Counter
+	takeovers        *obs.Counter
+	sweeps           *obs.Counter
+	drainedFallbacks *obs.Counter
+}
+
+func newMasterInstruments(m *obs.Registry) masterInstruments {
+	return masterInstruments{
+		broadcasts:       m.Counter("master.broadcasts"),
+		subTasks:         m.Counter("master.subtasks"),
+		reallocations:    m.Counter("master.reallocations"),
+		takeovers:        m.Counter("master.takeovers"),
+		sweeps:           m.Counter("master.heartbeat_sweeps"),
+		drainedFallbacks: m.Counter("master.pool_drained_fallbacks"),
+	}
 }
 
 // Master is the ESlurm control daemon.
@@ -138,7 +169,7 @@ type Master struct {
 	Placement *comm.PlacementStats
 
 	cfg    Config
-	stats  Stats
+	in     masterInstruments
 	engine *simnet.Engine
 	hb     *simnet.Ticker
 	jobs   int
@@ -163,6 +194,7 @@ func NewMaster(c *cluster.Cluster, cfg Config, p predict.Predictor) *Master {
 		Predictor: p,
 		B:         comm.NewBroadcaster(c),
 		cfg:       cfg,
+		in:        newMasterInstruments(c.Engine.Metrics()),
 		engine:    c.Engine,
 		suspects:  make(map[cluster.NodeID]time.Duration),
 	}
@@ -240,8 +272,18 @@ func (m *Master) Config() Config { return m.cfg }
 // for graceful degradation.
 func (m *Master) PoolHealth() satellite.Health { return m.Pool.Health() }
 
-// Stats returns a copy of the master's event counters.
-func (m *Master) Stats() Stats { return m.stats }
+// Stats returns a snapshot of the master's event counters, assembled
+// from the registry instruments (see masterInstruments).
+func (m *Master) Stats() Stats {
+	return Stats{
+		Broadcasts:           int(m.in.broadcasts.Value()),
+		SubTasks:             int(m.in.subTasks.Value()),
+		Reallocations:        int(m.in.reallocations.Value()),
+		MasterTakeovers:      int(m.in.takeovers.Value()),
+		HeartbeatSweeps:      int(m.in.sweeps.Value()),
+		PoolDrainedFallbacks: int(m.in.drainedFallbacks.Value()),
+	}
+}
 
 // Meter returns the master daemon's resource meter.
 func (m *Master) Meter() *cluster.ResourceMeter { return &m.Cluster.Master().Meter }
@@ -348,12 +390,15 @@ func splitList(targets []cluster.NodeID, n int) [][]cluster.NodeID {
 // done (may be nil) receives the merged result when every target has
 // resolved.
 func (m *Master) Broadcast(targets []cluster.NodeID, size int, done func(comm.Result)) {
-	m.stats.Broadcasts++
+	m.in.broadcasts.Inc()
 	master := m.Cluster.Master().ID
 	mm := m.Meter()
 	mm.ChargeCPU(m.B.SendOverhead) // task splitting
+	tr := m.engine.Tracer()
+	root := tr.Start("master.broadcast", 0, obs.Int("targets", len(targets)))
 
 	if len(targets) == 0 {
+		tr.End(root)
 		if done != nil {
 			done(comm.Result{})
 		}
@@ -366,11 +411,15 @@ func (m *Master) Broadcast(targets []cluster.NodeID, size int, done func(comm.Re
 		// No satellite available at all: the master must do the work
 		// rather than stall. A fully drained pool (all FAULT/DOWN) is the
 		// graceful-degradation case the chaos harness asserts on.
-		m.stats.MasterTakeovers++
-		if m.Pool.Drained() {
-			m.stats.PoolDrainedFallbacks++
+		m.in.takeovers.Inc()
+		drained := m.Pool.Drained()
+		if drained {
+			m.in.drainedFallbacks.Inc()
 		}
-		m.directBroadcast(master, targets, size, func(r comm.Result, _ time.Duration) {
+		tr.Instant("master.takeover", root, obs.String("reason", takeoverReason(drained)))
+		m.directBroadcast(master, targets, size, root, func(r comm.Result, _ time.Duration) {
+			tr.SetAttrInt(root, "delivered", r.Delivered)
+			tr.End(root)
 			if done != nil {
 				done(r)
 			}
@@ -378,6 +427,7 @@ func (m *Master) Broadcast(targets []cluster.NodeID, size int, done func(comm.Re
 		return
 	}
 	subs := splitList(targets, len(sats))
+	tr.SetAttrInt(root, "fanout", len(subs))
 
 	start := m.engine.Now()
 	merged := comm.Result{}
@@ -402,8 +452,13 @@ func (m *Master) Broadcast(targets []cluster.NodeID, size int, done func(comm.Re
 			}
 		}
 		pending--
-		if pending == 0 && done != nil {
-			done(merged)
+		if pending == 0 {
+			tr.SetAttrInt(root, "delivered", merged.Delivered)
+			tr.SetAttrInt(root, "unreachable", len(merged.Unreachable))
+			tr.End(root)
+			if done != nil {
+				done(merged)
+			}
 		}
 	}
 
@@ -414,16 +469,28 @@ func (m *Master) Broadcast(targets []cluster.NodeID, size int, done func(comm.Re
 		delay := time.Duration(i+1) * m.cfg.MasterPerTaskDispatch
 		mm.ChargeCPU(m.cfg.MasterPerTaskDispatch)
 		m.engine.After(delay, func() {
-			m.dispatchTask(sats[i], sub, size, 0, finish)
+			m.dispatchTask(sats[i], sub, size, 0, root, finish)
 		})
 	}
-	m.stats.SubTasks += len(subs)
+	m.in.subTasks.Add(int64(len(subs)))
+}
+
+// takeoverReason labels master.takeover instants for the trace.
+func takeoverReason(drained bool) string {
+	if drained {
+		return "pool-drained"
+	}
+	return "no-running-satellite"
 }
 
 // dispatchTask hands one sub-list to a satellite; trail counts previous
-// reallocation attempts for this task.
-func (m *Master) dispatchTask(sat *satellite.Satellite, sub []cluster.NodeID, size int, trail int, finish func(comm.Result, time.Duration)) {
+// reallocation attempts for this task, and parent is the master.broadcast
+// span the task span nests under.
+func (m *Master) dispatchTask(sat *satellite.Satellite, sub []cluster.NodeID, size int, trail int, parent obs.SpanID, finish func(comm.Result, time.Duration)) {
 	master := m.Cluster.Master().ID
+	tr := m.engine.Tracer()
+	task := tr.Start("master.task", parent,
+		obs.Int("sat", int(sat.ID)), obs.Int("nodes", len(sub)), obs.Int("trail", trail))
 	m.Pool.Apply(sat, satellite.EvBTAssigned)
 	sat.NodesServed += len(sub)
 
@@ -437,26 +504,33 @@ func (m *Master) dispatchTask(sat *satellite.Satellite, sub []cluster.NodeID, si
 	taskBytes := proto.TaskAssignSize(len(sub), size)
 	responded := false
 
+	// fail closes the task span with an outcome label and hands the task
+	// to the reallocation path.
+	fail := func(outcome string) {
+		responded = true
+		tr.SetAttr(task, "outcome", outcome)
+		tr.End(task)
+		m.Pool.Apply(sat, satellite.EvBTFailure)
+		m.reallocate(sat, sub, size, trail, parent, finish)
+	}
+
 	// Watchdog: if the satellite never responds (e.g. it died mid-task),
 	// treat the task as failed and reallocate.
 	watchdog := m.engine.After(m.cfg.TaskTimeout, func() {
 		if responded {
 			return
 		}
-		responded = true
-		m.Pool.Apply(sat, satellite.EvBTFailure)
-		m.reallocate(sat, sub, size, trail, finish)
+		fail("timeout")
 	})
 
+	m.B.SpanParent = task
 	m.B.Send(master, sat.ID, taskBytes, func(ok bool) {
 		if responded {
 			return
 		}
 		if !ok {
-			responded = true
 			watchdog.Cancel()
-			m.Pool.Apply(sat, satellite.EvBTFailure)
-			m.reallocate(sat, sub, size, trail, finish)
+			fail("assign-undelivered")
 			return
 		}
 		// The satellite constructs an FP-Tree over its sub-list (Θ(n),
@@ -467,6 +541,7 @@ func (m *Master) dispatchTask(sat *satellite.Satellite, sub []cluster.NodeID, si
 		bStart := m.engine.Now() + proc
 		structure := comm.FPTree{Width: m.cfg.TreeWidth, Predictor: m.effectivePredictor(), Stats: m.Placement}
 		m.engine.After(proc, func() {
+			m.B.SpanParent = task
 			structure.Broadcast(m.B, sat.ID, sub, size, func(r comm.Result) {
 				m.markSuspects(r.Unreachable)
 				if responded {
@@ -475,20 +550,22 @@ func (m *Master) dispatchTask(sat *satellite.Satellite, sub []cluster.NodeID, si
 				// Aggregate response back to the master (wire-encoded
 				// per-node statuses, see package proto).
 				respBytes := proto.AggregateReplySize(len(sub), len(r.Unreachable))
+				m.B.SpanParent = task
 				m.B.Send(sat.ID, master, respBytes, func(respOK bool) {
 					if responded {
 						return
 					}
-					responded = true
 					watchdog.Cancel()
 					if respOK {
+						responded = true
 						m.Pool.Apply(sat, satellite.EvBTSuccess)
 						m.Meter().ChargeCPU(time.Duration(len(sub)) * time.Microsecond) // merge aggregate
+						tr.SetAttrInt(task, "delivered", r.Delivered)
+						tr.End(task)
 						finish(r, bStart+r.DeliveredElapsed)
 						return
 					}
-					m.Pool.Apply(sat, satellite.EvBTFailure)
-					m.reallocate(sat, sub, size, trail, finish)
+					fail("reply-undelivered")
 				})
 			})
 		})
@@ -497,29 +574,38 @@ func (m *Master) dispatchTask(sat *satellite.Satellite, sub []cluster.NodeID, si
 
 // reallocate implements Section III-C: move the task to the next satellite
 // in the round-robin; after ReallocLimit trails the master takes over.
-func (m *Master) reallocate(failed *satellite.Satellite, sub []cluster.NodeID, size int, trail int, finish func(comm.Result, time.Duration)) {
+// parent is the originating master.broadcast span.
+func (m *Master) reallocate(failed *satellite.Satellite, sub []cluster.NodeID, size int, trail int, parent obs.SpanID, finish func(comm.Result, time.Duration)) {
+	tr := m.engine.Tracer()
 	trail++
+	takeover := func() {
+		m.in.takeovers.Inc()
+		tr.Instant("master.takeover", parent,
+			obs.Int("nodes", len(sub)), obs.Int("trail", trail))
+		m.directBroadcast(m.Cluster.Master().ID, sub, size, parent, finish)
+	}
 	if trail > m.cfg.ReallocLimit {
-		m.stats.MasterTakeovers++
-		m.directBroadcast(m.Cluster.Master().ID, sub, size, finish)
+		takeover()
 		return
 	}
 	next := m.Pool.NextRunning()
 	if next == nil || next.ID == failed.ID {
-		m.stats.MasterTakeovers++
-		m.directBroadcast(m.Cluster.Master().ID, sub, size, finish)
+		takeover()
 		return
 	}
-	m.stats.Reallocations++
-	m.dispatchTask(next, sub, size, trail, finish)
+	m.in.reallocations.Inc()
+	tr.Instant("master.realloc", parent,
+		obs.Int("from", int(failed.ID)), obs.Int("to", int(next.ID)), obs.Int("trail", trail))
+	m.dispatchTask(next, sub, size, trail, parent, finish)
 }
 
 // directBroadcast is the master-takeover path: the master relays to the
 // sub-list itself over an FP-Tree, "ensuring that the task is processed
 // correctly and promptly".
-func (m *Master) directBroadcast(origin cluster.NodeID, sub []cluster.NodeID, size int, finish func(comm.Result, time.Duration)) {
+func (m *Master) directBroadcast(origin cluster.NodeID, sub []cluster.NodeID, size int, parent obs.SpanID, finish func(comm.Result, time.Duration)) {
 	bStart := m.engine.Now()
 	structure := comm.FPTree{Width: m.cfg.TreeWidth, Predictor: m.effectivePredictor(), Stats: m.Placement}
+	m.B.SpanParent = parent
 	structure.Broadcast(m.B, origin, sub, size, func(r comm.Result) {
 		m.markSuspects(r.Unreachable)
 		if finish != nil {
@@ -553,7 +639,7 @@ func (m *Master) ShutdownSatellite(id cluster.NodeID, done func(delivered bool))
 // heartbeatSweep probes satellites directly and compute nodes through the
 // satellite layer, feeding the state machine and the predictor pipeline.
 func (m *Master) heartbeatSweep() {
-	m.stats.HeartbeatSweeps++
+	m.in.sweeps.Inc()
 	m.probeSatellites()
 	m.Broadcast(m.Cluster.Computes(), m.cfg.HeartbeatMsgBytes, nil)
 }

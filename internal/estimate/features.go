@@ -6,6 +6,11 @@
 // Eqs. 4–5) — plus the baseline estimators it is compared against in
 // Fig. 11b: user estimates, Last-2, global SVM, random forest, IRPA, TRIP
 // and PREP.
+//
+// Determinism: the framework is engine-free and all stochastic steps
+// (K-means++ seeding, SVR tuning subsamples) draw from one rand.Rand
+// seeded by FrameworkConfig.Seed, so identical job streams produce
+// identical models and estimates.
 package estimate
 
 import (

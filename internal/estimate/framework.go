@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"eslurm/internal/mlkit"
+	"eslurm/internal/obs"
 	"eslurm/internal/trace"
 )
 
@@ -153,6 +154,10 @@ type Framework struct {
 
 	// Generations counts model rebuilds (for tests/reports).
 	Generations int
+
+	// Registry instruments; nil until SetObs is called. obs instruments
+	// no-op on nil receivers, so unbound frameworks pay nothing.
+	cPredictions, cModelUsed, cGenerations *obs.Counter
 }
 
 // NewFramework returns an empty framework; models appear as jobs complete.
@@ -164,11 +169,21 @@ func NewFramework(cfg FrameworkConfig) *Framework {
 // Config returns the effective configuration.
 func (f *Framework) Config() FrameworkConfig { return f.cfg }
 
+// SetObs binds the framework to a metrics registry (typically the driving
+// engine's — the framework itself is engine-free). It registers counters
+// estimate.predictions, estimate.model_used, and estimate.generations.
+func (f *Framework) SetObs(m *obs.Registry) {
+	f.cPredictions = m.Counter("estimate.predictions")
+	f.cModelUsed = m.Counter("estimate.model_used")
+	f.cGenerations = m.Counter("estimate.generations")
+}
+
 // Name implements Estimator.
 func (f *Framework) Name() string { return "ESlurm" }
 
 // Predict runs the real-time estimation module for a newly submitted job.
 func (f *Framework) Predict(j *trace.Job) Prediction {
+	f.cPredictions.Inc()
 	f.maybeRefresh(j.Submit)
 	p := Prediction{Cluster: -1, Used: j.UserEstimate}
 	if f.m == nil {
@@ -184,11 +199,13 @@ func (f *Framework) Predict(j *trace.Job) Prediction {
 		// adopt the runtime estimation given by the estimation model."
 		p.Used = p.Model
 		p.UsedModel = true
+		f.cModelUsed.Inc()
 		return p
 	}
 	if f.m.aea(p.Cluster) > f.cfg.AEAGate {
 		p.Used = p.Model
 		p.UsedModel = true
+		f.cModelUsed.Inc()
 	}
 	return p
 }
@@ -358,4 +375,5 @@ func (f *Framework) generate() {
 	}
 	f.m = m
 	f.Generations++
+	f.cGenerations.Inc()
 }

@@ -8,6 +8,10 @@
 // but exposes a duration/job-count knob so the default `benchrunner`
 // invocation finishes in minutes; rates are extrapolated where the paper
 // reports long-horizon totals (flagged in the table footer).
+//
+// Determinism: each driver runs independent, fixed-seed simulations, and
+// the concurrent runner only parallelizes *across* engines — emitted
+// tables are byte-identical for every worker-pool size.
 package experiment
 
 import (

@@ -5,6 +5,11 @@
 // small-scale failure events ... 103 single-node failures" plus "a
 // large-scale node failure involving more than 600 nodes caused by
 // hardware replacement".
+//
+// Determinism: campaign shapes, timings and victim sets draw exclusively
+// from the cluster engine's labeled RNG streams and fire as engine
+// events, so a campaign replays bit-identically from its seed — the
+// property the chaos harness's digest-pinned tests stand on.
 package faults
 
 import (

@@ -16,7 +16,9 @@
 //     with predicted-failed nodes and interior positions with healthy ones.
 //
 // Build materializes the tree for the broadcast engines in package comm.
-// All functions are pure and generic so they are directly property-testable.
+// All functions are pure and generic so they are directly
+// property-testable — and deterministic: tree shape is a function of list
+// order and width alone, with no RNG or map iteration anywhere.
 package fptree
 
 import "fmt"

@@ -13,6 +13,10 @@
 //
 // Numbers keep their zero-padding: "cn[001-003]" expands to cn001, cn002,
 // cn003.
+//
+// Determinism: parsing, expansion and set arithmetic are pure and
+// order-stable (results follow input order, never map order), so hostlist
+// handling can never perturb the same-seed ⇒ same-trace contract.
 package hostlist
 
 import (

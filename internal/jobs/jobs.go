@@ -4,6 +4,10 @@
 // master node's global view of resources and jobs as well as the original
 // efficient resource allocation and job scheduling logic" (Section II-C);
 // this package is that retained Slurm-derived logic.
+//
+// Determinism: the registry iterates jobs in submission order and the
+// multifactor priority breaks ties by job ID, so scheduling decisions are
+// reproducible — no map-order dependence, no clocks, no RNG.
 package jobs
 
 import (

@@ -218,6 +218,13 @@ func TestRandlabel(t *testing.T) {
 
 // TestStaleignore runs with walltime enabled so the directives under
 // judgment target an analyzer that actually ran.
+func TestPkgdoc(t *testing.T) {
+	runCase(t, "pkgdoc_bad", PkgdocAnalyzer)
+	runCase(t, "pkgdoc_nodoc", PkgdocAnalyzer)
+	runCase(t, "pkgdoc_good", PkgdocAnalyzer)
+	runCase(t, "pkgdoc_suppressed", PkgdocAnalyzer)
+}
+
 func TestStaleignore(t *testing.T) {
 	runCase(t, "staleignore_bad", WalltimeAnalyzer, StaleignoreAnalyzer)
 	runCase(t, "staleignore_good", WalltimeAnalyzer, StaleignoreAnalyzer)
@@ -253,7 +260,7 @@ func TestFindingString(t *testing.T) {
 	if got, want := f.String(), "a/b.go:7: [detrand] msg"; got != want {
 		t.Fatalf("String() = %q, want %q", got, want)
 	}
-	if fmt.Sprint(len(Analyzers())) != "10" {
-		t.Fatalf("expected 10 analyzers, got %d", len(Analyzers()))
+	if fmt.Sprint(len(Analyzers())) != "11" {
+		t.Fatalf("expected 11 analyzers, got %d", len(Analyzers()))
 	}
 }

@@ -5,10 +5,11 @@
 // is bit-for-bit reproducible: same seed ⇒ same event ordering ⇒ same
 // utilization/slowdown/AEA numbers. A single stray wall-clock read, global
 // RNG call, or order-sensitive map iteration silently corrupts every
-// downstream table. The six analyzers here (walltime, detrand, maporder,
-// errdrop, evalloc, gosim) turn that contract — and the kernel hot path's
-// allocation budget — into a merge gate; see each analyzer's Doc for the
-// precise rule.
+// downstream table. The analyzers here (run `eslurmlint -list` for the
+// current set — the README table is drift-gated against it) turn that
+// contract — and the kernel hot path's allocation budget and the
+// documentation contract (pkgdoc) — into a merge gate; see each
+// analyzer's Doc for the precise rule.
 //
 // The driver is built from the standard library only (go/ast, go/token,
 // go/types, go/importer) — no external module dependencies — so the lint
@@ -77,7 +78,7 @@ func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		WalltimeAnalyzer, DetrandAnalyzer, MaporderAnalyzer, ErrdropAnalyzer,
 		EvallocAnalyzer, GosimAnalyzer, TaintAnalyzer, FloatsumAnalyzer,
-		RandlabelAnalyzer, StaleignoreAnalyzer,
+		RandlabelAnalyzer, StaleignoreAnalyzer, PkgdocAnalyzer,
 	}
 }
 

@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// PkgdocAnalyzer requires every internal/ package to carry a package doc
+// comment that states its determinism posture. The repo's documentation
+// contract (DESIGN.md "Observability") is that each package says what it
+// simulates from the paper and how it upholds — or stays outside — the
+// same-seed ⇒ same-trace guarantee; the concrete, greppable token is the
+// stem "determinis" (deterministic/determinism), case-insensitive.
+// Directive comments (//foo:bar) are not documentation: a doc group made
+// only of directives counts as missing, because go/doc strips them too.
+var PkgdocAnalyzer = &Analyzer{
+	Name: "pkgdoc",
+	Doc:  "require internal/ packages to document their paper role and determinism contract",
+	Run:  runPkgdoc,
+}
+
+func runPkgdoc(p *Package) []Finding {
+	if !underInternal(p.ImportPath) {
+		return nil
+	}
+	// Gather the package doc across files (Go convention puts it in one
+	// file, but the check must not care which). Sort by filename so the
+	// reported position is stable regardless of load order.
+	files := append([]*ast.File(nil), p.Files...)
+	sort.Slice(files, func(i, j int) bool {
+		return p.Fset.Position(files[i].Package).Filename < p.Fset.Position(files[j].Package).Filename
+	})
+	var doc strings.Builder
+	var docFile *ast.File
+	for _, f := range files {
+		// CommentGroup.Text strips directive comments, so a group that is
+		// nothing but directives contributes an empty string here.
+		if f.Doc == nil {
+			continue
+		}
+		txt := strings.TrimSpace(f.Doc.Text())
+		if txt == "" {
+			continue
+		}
+		doc.WriteString(txt)
+		if docFile == nil {
+			docFile = f
+		}
+	}
+	if docFile == nil {
+		if len(files) == 0 {
+			return nil
+		}
+		return []Finding{{p.Fset.Position(files[0].Package), "pkgdoc",
+			"internal package has no package doc: state what the package models from the paper and its determinism contract (same seed ⇒ same trace)"}}
+	}
+	if !strings.Contains(strings.ToLower(doc.String()), "determinis") {
+		return []Finding{{p.Fset.Position(docFile.Package), "pkgdoc",
+			"package doc never mentions determinism: say how the package upholds (or stays outside) the same-seed ⇒ same-trace contract"}}
+	}
+	return nil
+}

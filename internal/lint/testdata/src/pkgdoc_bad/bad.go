@@ -1,0 +1,8 @@
+//eslurmlint:testpath eslurm/internal/pkgdoc_bad
+
+// Package pkgdoc_bad documents what it does but never says a word about
+// the reproducibility guarantee it lives under.
+package pkgdoc_bad // want "package doc never mentions determinism"
+
+// F exists so the package has a body.
+func F() int { return 1 }

@@ -1,0 +1,9 @@
+//eslurmlint:testpath eslurm/internal/pkgdoc_good
+
+// Package pkgdoc_good models a paper subsystem. It is fully deterministic:
+// all state changes happen inside engine events, so the same seed yields
+// the same trace.
+package pkgdoc_good
+
+// F exists so the package has a body.
+func F() int { return 1 }

@@ -1,0 +1,6 @@
+//eslurmlint:testpath eslurm/internal/pkgdoc_nodoc
+
+package pkgdoc_nodoc // want "internal package has no package doc"
+
+// F exists so the package has a body.
+func F() int { return 1 }

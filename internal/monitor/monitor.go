@@ -9,6 +9,10 @@
 // package's alert stream, exactly as ESlurm consumes alerts from the real
 // monitoring network — so any alert source with comparable precision
 // exercises the same code path (see DESIGN.md, "Substitutions").
+//
+// Determinism: sampling sweeps, alert emission and gray-node noise all
+// run as events on the cluster's engine with labeled RNG streams, so the
+// alert sequence replays bit-identically from the seed.
 package monitor
 
 import (

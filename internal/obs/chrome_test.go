@@ -1,0 +1,93 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"eslurm/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// buildFixtureTracer records a small fixed scenario covering every
+// record shape: root + child spans, a retry instant, attributes added
+// after Start, an open span, and sub-microsecond timestamps.
+func buildFixtureTracer() *obs.Tracer {
+	c := &fakeClock{}
+	tr := obs.NewTracer(c.Now)
+	root := tr.Start("master.broadcast", 0, obs.Int("targets", 2))
+	c.now = 100 * time.Microsecond
+	s1 := tr.Start("comm.send", root, obs.Int("to", 7))
+	c.now = 100*time.Microsecond + 250*time.Nanosecond
+	tr.Instant("comm.retry", s1, obs.Int("attempt", 2))
+	c.now = 230 * time.Microsecond
+	tr.SetAttr(s1, "ok", "true")
+	tr.End(s1)
+	c.now = 400 * time.Microsecond
+	tr.SetAttrInt(root, "delivered", 2)
+	tr.End(root)
+	tr.Start("comm.send", root, obs.Int("to", 9)) // left open
+	return tr
+}
+
+func TestWriteChromeGolden(t *testing.T) {
+	var buf bytes.Buffer
+	err := obs.WriteChrome(&buf,
+		obs.Process{PID: 0, Name: "seed 1", T: buildFixtureTracer()},
+		obs.Process{PID: 1, Name: "empty", T: nil},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("chrome export drifted from golden (re-run with -update if intended):\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+
+	// The golden must stay a valid trace_event document.
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	// 2 process_name rows + b/e + b/e + n + open b = 8 records.
+	if len(doc.TraceEvents) != 8 {
+		t.Fatalf("traceEvents count = %d, want 8", len(doc.TraceEvents))
+	}
+	phases := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		phases[ev["ph"].(string)]++
+	}
+	if phases["M"] != 2 || phases["b"] != 3 || phases["e"] != 2 || phases["n"] != 1 {
+		t.Fatalf("phase mix %v", phases)
+	}
+}
+
+func TestWriteChromeIsByteStable(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := obs.WriteChrome(&a, obs.Process{PID: 3, Name: "x", T: buildFixtureTracer()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteChrome(&b, obs.Process{PID: 3, Name: "x", T: buildFixtureTracer()}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two identical recordings exported different bytes")
+	}
+}

@@ -1,0 +1,40 @@
+// Package obs is the observability layer of the reproduction: spans and
+// metrics recorded in *simulated* time, the way the paper watches ESlurm
+// (broadcast latency breakdowns, satellite failover timelines, prediction
+// hit rates) rather than in host time.
+//
+// Two surfaces:
+//
+//   - Tracer — parent/child spans and instant events stamped with the
+//     engine's virtual clock, exported as Chrome trace_event JSON
+//     (chrome://tracing, Perfetto) or a byte-stable text dump.
+//   - Registry — named counters, gauges and fixed-bucket histograms with
+//     a stable snapshot order, the single home for the stack's event
+//     counters (master, comm, satellite pool, scheduler).
+//
+// Determinism contract: recording is passive — no events are scheduled,
+// no RNG streams are drawn, no host clocks are read (the clock is
+// injected, in practice simnet.Engine.Now), so enabling observability
+// never perturbs an event trace: the same seed yields byte-identical
+// exports, digest-pinned by the chaos harness. Disabled tracing costs a
+// nil check: every Tracer method is safe on a nil receiver, keeping the
+// kernel fast path allocation-free.
+package obs
+
+import "strconv"
+
+// Attr is one key/value annotation on a span or instant event. Values
+// are strings so exports are trivially byte-stable; use the constructors
+// below for non-string values.
+type Attr struct {
+	Key, Value string
+}
+
+// String builds a string-valued attribute.
+func String(k, v string) Attr { return Attr{Key: k, Value: v} }
+
+// Int builds an integer-valued attribute.
+func Int(k string, v int) Attr { return Attr{Key: k, Value: strconv.Itoa(v)} }
+
+// Int64 builds an int64-valued attribute.
+func Int64(k string, v int64) Attr { return Attr{Key: k, Value: strconv.FormatInt(v, 10)} }

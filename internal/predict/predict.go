@@ -7,6 +7,10 @@
 // monitoring subsystem ("the principle of over-prediction" — a wrong
 // prediction only demotes a healthy node to a leaf slot, it never affects
 // the node's state or performance).
+//
+// Determinism: predictors react only to the monitor's alert stream and
+// the engine's virtual clock (Random takes an explicit seeded Rand), so
+// the predicted set evolves identically on every same-seed replay.
 package predict
 
 import (
@@ -15,6 +19,7 @@ import (
 
 	"eslurm/internal/cluster"
 	"eslurm/internal/monitor"
+	"eslurm/internal/obs"
 	"eslurm/internal/simnet"
 )
 
@@ -94,8 +99,11 @@ func NewAlertDriven(e *simnet.Engine, sub *monitor.Subsystem, ttl time.Duration)
 		ttl:       ttl,
 		predicted: make(map[cluster.NodeID]time.Duration),
 	}
+	alerts := e.Metrics().Counter("predict.alerts")
 	sub.Subscribe(func(a monitor.Alert) {
 		p.alerts++
+		alerts.Inc()
+		e.Tracer().Instant("predict.alert", 0, obs.Int("node", int(a.Node)))
 		p.predicted[a.Node] = e.Now() + p.ttl
 	})
 	return p

@@ -8,6 +8,10 @@
 // sizes from these encodings rather than hand-picked constants — and
 // (b) the satellite aggregation logic, which merges per-node status
 // replies exactly as the production daemon would.
+//
+// Determinism: encoding and size computation are pure functions of their
+// inputs — byte-stable output, no clocks, no RNG — so the wire model
+// cannot perturb the same-seed ⇒ same-trace contract.
 package proto
 
 import (

@@ -10,6 +10,11 @@
 // calibrated to the magnitudes the paper reports at 4K nodes (e.g. Slurm's
 // 10 GB virtual / Fig. 7c, SGE's and OpenPBS's node-count-sized persistent
 // socket pools / Fig. 7e, ESlurm's <100 sockets).
+//
+// Determinism: every model is driven by events on the harness's simnet
+// engine — polling cadences, connection churn and state growth replay
+// bit-identically from the seed, which is what lets Fig. 7/9/10 rows be
+// regenerated exactly.
 package rm
 
 import (

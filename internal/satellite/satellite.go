@@ -6,6 +6,11 @@
 // any system state. They act as bidirectional communication buffers with
 // initial data aggregation and processing capabilities between the master
 // node and the computing nodes."
+//
+// Determinism: transitions happen synchronously inside Apply (itself
+// called from engine events) and the FAULT-timeout demotion is a
+// scheduled engine event, so pool state replays bit-identically from the
+// seed; the obs transition records are passive.
 package satellite
 
 import (
@@ -13,6 +18,7 @@ import (
 	"time"
 
 	"eslurm/internal/cluster"
+	"eslurm/internal/obs"
 	"eslurm/internal/simnet"
 )
 
@@ -358,9 +364,28 @@ func (p *Pool) Health() Health {
 // Drained reports whether every satellite is FAULT or DOWN.
 func (p *Pool) Drained() bool { return p.Health().Drained() }
 
-// notify fires the OnChange observer for a completed state change.
+// notify fires the OnChange observer for a completed state change and
+// records the transition on the engine's observability layer: counters
+// satellite.transitions / satellite.faults / satellite.downs, plus a
+// "satellite.transition" trace instant when tracing is enabled. Recording
+// is passive (no events, no RNG), so it cannot perturb the event trace.
 func (p *Pool) notify(s *Satellite, from, to State) {
-	if p.OnChange != nil && from != to {
+	if from == to {
+		return
+	}
+	reg := p.engine.Metrics()
+	reg.Counter("satellite.transitions").Inc()
+	switch to {
+	case Fault:
+		reg.Counter("satellite.faults").Inc()
+	case Down:
+		reg.Counter("satellite.downs").Inc()
+	}
+	p.engine.Tracer().Instant("satellite.transition", 0,
+		obs.Int("sat", int(s.ID)),
+		obs.String("from", from.String()),
+		obs.String("to", to.String()))
+	if p.OnChange != nil {
 		p.OnChange(s, from, to, p.Health())
 	}
 }

@@ -9,12 +9,18 @@
 // Metrics follow Section VII-D: system utilization (node-hours running /
 // total elapsed node-hours), average waiting time, and average bounded
 // slowdown (Eq. 6 with τ = 10 s).
+//
+// Determinism: each Run owns a private simnet engine seeded from
+// Config.Seed; crash timing draws from a labeled RNG stream and every
+// scheduling pass fires as an engine event, so a replay of the same trace
+// and config reproduces the metrics exactly.
 package sched
 
 import (
 	"time"
 
 	"eslurm/internal/estimate"
+	"eslurm/internal/obs"
 	"eslurm/internal/simnet"
 	"eslurm/internal/stats"
 	"eslurm/internal/trace"
@@ -84,6 +90,11 @@ type Config struct {
 	UtilWindow time.Duration
 	// Seed drives crash timing.
 	Seed int64
+	// OnEngine, when set, observes the run's engine right after
+	// construction — before any event is scheduled — so callers can enable
+	// tracing or read the metrics registry (counters sched.submitted,
+	// sched.started, sched.completed, sched.killed, sched.crashes).
+	OnEngine func(*simnet.Engine)
 }
 
 // Result carries the Fig. 10 metrics for one run.
@@ -142,10 +153,14 @@ func Run(jobs []trace.Job, cfg Config) Result {
 	}
 
 	e := simnet.NewEngine(cfg.Seed + 7)
+	if cfg.OnEngine != nil {
+		cfg.OnEngine(e)
+	}
 	s := &state{
 		cfg:    cfg,
 		engine: e,
 		free:   cfg.Nodes,
+		in:     newSchedInstruments(e.Metrics()),
 	}
 
 	var firstSubmit, lastEnd time.Duration
@@ -176,6 +191,9 @@ func Run(jobs []trace.Job, cfg Config) Result {
 					return
 				}
 				s.down = true
+				s.in.crashes.Inc()
+				e.Tracer().Instant("sched.crash", 0,
+					obs.Int64("downtime_ns", int64(cfg.CrashDowntime)))
 				e.After(cfg.CrashDowntime, func() {
 					s.down = false
 					s.schedule()
@@ -203,9 +221,27 @@ func Run(jobs []trace.Job, cfg Config) Result {
 	return res
 }
 
+// schedInstruments are the scheduler's registry-backed counters; always on
+// (the registry is plain int64 bumps), unlike spans which need tracing
+// enabled.
+type schedInstruments struct {
+	submitted, started, completed, killed, crashes *obs.Counter
+}
+
+func newSchedInstruments(m *obs.Registry) schedInstruments {
+	return schedInstruments{
+		submitted: m.Counter("sched.submitted"),
+		started:   m.Counter("sched.started"),
+		completed: m.Counter("sched.completed"),
+		killed:    m.Counter("sched.killed"),
+		crashes:   m.Counter("sched.crashes"),
+	}
+}
+
 type state struct {
 	cfg    Config
 	engine *simnet.Engine
+	in     schedInstruments
 
 	free    int
 	running []runningJob
@@ -223,9 +259,18 @@ type state struct {
 }
 
 func (s *state) submit(j trace.Job, resubmit bool) {
+	s.in.submitted.Inc()
 	wt := j.UserEstimate
 	if !resubmit {
-		if p := s.cfg.Predictor.Walltime(&j); p > 0 {
+		// Walltime inference is a decision point worth a span of its own:
+		// it is where the estimation framework (or the user estimate)
+		// shapes everything the backfill planner does with this job.
+		tr := s.engine.Tracer()
+		sp := tr.Start("predict.walltime", 0, obs.Int("job", j.ID))
+		p := s.cfg.Predictor.Walltime(&j)
+		tr.SetAttrInt(sp, "walltime_ns", int(p))
+		tr.End(sp)
+		if p > 0 {
 			wt = p
 		}
 	} else {
@@ -263,6 +308,12 @@ func (s *state) start(q queuedJob) {
 	}
 	occupation := load + runtime + term
 
+	s.in.started.Inc()
+	tr := s.engine.Tracer()
+	span := tr.Start("sched.job", 0,
+		obs.Int("job", q.job.ID), obs.Int("nodes", q.job.Nodes),
+		obs.Int64("wait_ns", int64(now-q.enqueued)))
+
 	s.free -= q.job.Nodes
 	rj := runningJob{nodes: q.job.Nodes, limitEnd: now + load + q.walltime + term}
 	s.running = append(s.running, rj)
@@ -298,7 +349,14 @@ func (s *state) start(q queuedJob) {
 			s.lastCompletion = end
 		}
 		if killed {
+			tr.SetAttr(span, "outcome", "killed")
+		} else {
+			tr.SetAttr(span, "outcome", "completed")
+		}
+		tr.End(span)
+		if killed {
 			s.killed++
+			s.in.killed.Inc()
 			if !q.resubmit {
 				// One retry with a doubled request.
 				s.submit(q.job, true)
@@ -308,6 +366,7 @@ func (s *state) start(q queuedJob) {
 		} else {
 			s.outstanding--
 			s.completed++
+			s.in.completed.Inc()
 			s.waitSum += wait
 			tr := q.job.Runtime
 			if tr < slowdownTau {

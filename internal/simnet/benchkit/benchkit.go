@@ -3,6 +3,10 @@
 // benchrunner's -json perf record can execute, so the numbers committed
 // in BENCH_<preset>.json are produced by exactly the benchmarks CI
 // smoke-runs.
+//
+// Determinism: the bodies drive fixed-seed engines, so the *work
+// measured* is identical run to run — only host timing varies — and the
+// Step benchmark doubles as the kernel's zero-allocation gate.
 package benchkit
 
 import (

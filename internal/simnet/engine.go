@@ -34,6 +34,8 @@ import (
 	"math/rand"
 	"strconv"
 	"time"
+
+	"eslurm/internal/obs"
 )
 
 // event is the pooled kernel object behind an Event handle. It is reused
@@ -127,6 +129,8 @@ type Engine struct {
 	processed uint64
 	stopped   bool
 	observer  func(at time.Duration, seq uint64)
+	tracer    *obs.Tracer   // nil unless EnableTracing was called
+	metrics   *obs.Registry // lazily built by Metrics
 }
 
 // NewEngine returns an engine at virtual time zero. The seed roots every RNG

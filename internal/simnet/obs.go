@@ -1,0 +1,44 @@
+package simnet
+
+// Observability hooks. The engine owns the per-simulation Tracer and
+// metrics Registry so every layer with an engine handle (comm, core,
+// satellite, sched, predict) reaches the same instruments without
+// threading configuration through a dozen constructors.
+//
+// Tracing is strictly opt-in: Tracer() returns nil until EnableTracing
+// is called, and every obs.Tracer method is a no-op on nil — the
+// disabled cost on any instrumented path is one pointer load. Step() is
+// untouched either way, so the kernel hot path stays allocation-free.
+// Metrics are always on (a counter add costs as much as the bespoke
+// int fields they replaced); recording draws no RNG and schedules no
+// events, so neither surface perturbs the event trace.
+
+import "eslurm/internal/obs"
+
+// EnableTracing switches span recording on for this engine and returns
+// the tracer. Calling it again returns the same tracer. Enable before
+// running the simulation so spans cover it from virtual time zero.
+func (e *Engine) EnableTracing() *obs.Tracer {
+	if e.tracer == nil {
+		e.tracer = obs.NewTracer(e.Now)
+	}
+	return e.tracer
+}
+
+// Tracer returns the engine's tracer, or nil when tracing is disabled.
+// Instrumented code calls span methods on the result unconditionally;
+// nil receivers no-op.
+func (e *Engine) Tracer() *obs.Tracer { return e.tracer }
+
+// Metrics returns the engine's metrics registry, building it on first
+// use. Hot paths should look instruments up once and cache them.
+func (e *Engine) Metrics() *obs.Registry {
+	if e.metrics == nil {
+		e.metrics = obs.NewRegistry()
+	}
+	return e.metrics
+}
+
+// Seed returns the seed the engine was built with (exports label
+// processes with it).
+func (e *Engine) Seed() int64 { return e.seed }

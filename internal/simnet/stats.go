@@ -30,18 +30,42 @@ var (
 type collector struct {
 	parent  *collector
 	engines []*Engine
+	// onCreate, when set, observes each engine synchronously at
+	// construction — before any event runs — so callers can arm
+	// observability (EnableTracing) from virtual time zero.
+	onCreate func(*Engine)
 }
 
 // CountEvents runs fn and returns the total number of events executed by
 // every Engine created by fn on the calling goroutine. Nested calls are
 // allowed; an inner call's engines count toward the outer call too.
 func CountEvents(fn func()) uint64 {
+	engines := collect(nil, fn)
+	var total uint64
+	for _, e := range engines {
+		total += e.Processed()
+	}
+	return total
+}
+
+// CollectEngines runs fn and returns every Engine it created on the
+// calling goroutine, in creation order. onCreate (may be nil) fires
+// synchronously as each engine is constructed, which is the hook the
+// trace-capturing CLIs use to enable tracing on engines that experiment
+// drivers build internally.
+func CollectEngines(onCreate func(*Engine), fn func()) []*Engine {
+	return collect(onCreate, fn)
+}
+
+// collect implements the goroutine-scoped engine accounting shared by
+// CountEvents and CollectEngines.
+func collect(onCreate func(*Engine), fn func()) []*Engine {
 	id := goid()
 	var parent *collector
 	if v, ok := collectors.Load(id); ok {
 		parent = v.(*collector)
 	}
-	c := &collector{parent: parent}
+	c := &collector{parent: parent, onCreate: onCreate}
 	collectors.Store(id, c)
 	collectorCount.Add(1)
 	defer func() {
@@ -53,11 +77,7 @@ func CountEvents(fn func()) uint64 {
 		collectorCount.Add(-1)
 	}()
 	fn()
-	var total uint64
-	for _, e := range c.engines {
-		total += e.Processed()
-	}
-	return total
+	return c.engines
 }
 
 // recordEngine attributes a freshly built engine to the calling
@@ -72,6 +92,9 @@ func recordEngine(e *Engine) {
 	}
 	for c := v.(*collector); c != nil; c = c.parent {
 		c.engines = append(c.engines, e)
+		if c.onCreate != nil {
+			c.onCreate(e)
+		}
 	}
 }
 

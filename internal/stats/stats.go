@@ -3,6 +3,10 @@
 // (mean/min/max/percentiles), fixed-bin histograms, time-weighted
 // averages for gauge-like series (concurrent sockets), and CSV export of
 // sampled series so the paper's figures can be re-plotted from raw data.
+//
+// Determinism: all accumulators are insertion-ordered and purely
+// arithmetic (percentiles sort copies; histograms use fixed bins), so the
+// same observation sequence always renders the same report bytes.
 package stats
 
 import (

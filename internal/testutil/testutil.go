@@ -3,4 +3,8 @@
 // once had each re-derived with their own //go:build race twin files:
 // expensive soak tests budget for the race detector's ~5-10× slowdown by
 // shrinking iteration counts when it is on.
+//
+// Determinism: compile-time build facts only — no simulation state, no
+// RNG, no clocks — so the package sits entirely outside the same-seed ⇒
+// same-trace contract.
 package testutil

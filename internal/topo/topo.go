@@ -8,6 +8,10 @@
 // topology-aware techniques and then fine-tuned using the FP-Tree
 // constructor. This approach can reduce the impact of failed nodes while
 // preserving the topology-aware properties of the tree."
+//
+// Determinism: layouts and orderings are pure functions of node IDs and
+// shape parameters — no RNG, no map iteration — so tree fine-tuning is
+// reproducible under the same-seed ⇒ same-trace contract.
 package topo
 
 import (

@@ -4,6 +4,11 @@
 // 154,081 jobs; NG-Tianhe, 52,162 jobs), and the locality analyses behind
 // Fig. 5 (runtime-overestimation CDF, job-correlation decay with
 // submission interval and with job-ID gap).
+//
+// Determinism: synthetic generators draw from an explicit seeded
+// rand.Rand and emit jobs in submission order, so a given seed always
+// produces the identical workload — the precondition for every
+// deterministic replay downstream.
 package trace
 
 import (
