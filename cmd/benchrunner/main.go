@@ -90,10 +90,11 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *trace != "" || *metrics {
-		// Engine collection is goroutine-scoped, so observability runs
-		// force the experiments onto the calling goroutine.
-		*parallel = 1
+	if p, warn := serialOverride(*parallel, *trace != "", *metrics); p != *parallel || warn != "" {
+		*parallel = p
+		if warn != "" {
+			fmt.Fprintln(os.Stderr, warn)
+		}
 	}
 	emit := func(r experiment.Result) {
 		fmt.Fprintf(os.Stderr, "-- %s (%s) done in %s: %d events, %.0f events/s\n",
@@ -122,6 +123,30 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "-- wrote %s\n", path)
 	}
+}
+
+// serialOverride resolves the worker-pool size when an observability flag
+// is set: engine collection is goroutine-scoped, so -trace and -metrics
+// force the experiments onto the calling goroutine. When that overrides a
+// multi-worker request (including the GOMAXPROCS default), the returned
+// warning says so on stderr instead of silently dropping the parallelism.
+func serialOverride(parallel int, trace, metrics bool) (int, string) {
+	if !trace && !metrics {
+		return parallel, ""
+	}
+	if parallel == 1 {
+		return 1, ""
+	}
+	var flags string
+	switch {
+	case trace && metrics:
+		flags = "-trace and -metrics"
+	case trace:
+		flags = "-trace"
+	default:
+		flags = "-metrics"
+	}
+	return 1, fmt.Sprintf("-- %s forces serial execution (engine collection is goroutine-scoped); overriding -parallel %d", flags, parallel)
 }
 
 // runObserved executes specs serially on the calling goroutine, arming

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSerialOverride pins the -trace/-metrics serial-execution override:
+// observability runs must drop to one worker, and doing so over a
+// multi-worker request (explicit or the GOMAXPROCS default) must produce
+// a warning naming the responsible flag — never a silent downgrade.
+func TestSerialOverride(t *testing.T) {
+	cases := []struct {
+		name           string
+		parallel       int
+		trace, metrics bool
+		want           int
+		warnContains   []string // empty slice = no warning expected
+	}{
+		{name: "no observability flags", parallel: 8, want: 8},
+		{name: "trace forces serial", parallel: 8, trace: true, want: 1,
+			warnContains: []string{"-trace", "forces serial", "-parallel 8"}},
+		{name: "metrics forces serial", parallel: 4, metrics: true, want: 1,
+			warnContains: []string{"-metrics", "forces serial", "-parallel 4"}},
+		{name: "both flags named", parallel: 2, trace: true, metrics: true, want: 1,
+			warnContains: []string{"-trace and -metrics", "-parallel 2"}},
+		{name: "already serial stays silent", parallel: 1, trace: true, want: 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, warn := serialOverride(tc.parallel, tc.trace, tc.metrics)
+			if got != tc.want {
+				t.Errorf("parallel = %d, want %d", got, tc.want)
+			}
+			if len(tc.warnContains) == 0 {
+				if warn != "" {
+					t.Errorf("unexpected warning: %q", warn)
+				}
+				return
+			}
+			if warn == "" {
+				t.Fatal("want a warning, got none")
+			}
+			for _, sub := range tc.warnContains {
+				if !strings.Contains(warn, sub) {
+					t.Errorf("warning %q does not mention %q", warn, sub)
+				}
+			}
+		})
+	}
+}

@@ -21,6 +21,10 @@
 //	-sarif       emit findings as SARIF 2.1.0 on stdout and exit 0 even
 //	             when findings exist — code scanning renders them as
 //	             alerts, and the plain-mode CI step stays the hard gate
+//	-ownership   dump the inferred engine-affinity map (engine-bound
+//	             types, bearer functions, escapes, mutable globals) per
+//	             internal/ package as deterministic JSON and exit 0 —
+//	             the sharded-kernel work list
 //	-j N         analysis worker count (default: GOMAXPROCS)
 //	-cache DIR   reuse per-package results from DIR, keyed by a content
 //	             hash of each package's module-local dependency closure
@@ -47,10 +51,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "print the analyzer table (markdown) and exit")
 	sarif := fs.Bool("sarif", false, "emit SARIF 2.1.0 on stdout; findings do not fail the run")
+	ownership := fs.Bool("ownership", false, "dump the engine-affinity map as JSON; findings do not fail the run")
 	workers := fs.Int("j", 0, "analysis worker count (0 = GOMAXPROCS)")
 	cacheDir := fs.String("cache", "", "per-package result cache directory (empty = no cache)")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: eslurmlint [-list] [-sarif] [-j N] [-cache dir] [packages]")
+		fmt.Fprintln(stderr, "usage: eslurmlint [-list] [-sarif] [-ownership] [-j N] [-cache dir] [packages]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -93,6 +98,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "eslurmlint: no packages match %s\n", strings.Join(patterns, " "))
 		fs.Usage()
 		return 2
+	}
+
+	if *ownership {
+		if err := lint.WriteOwnership(stdout, pkgs, cwd); err != nil {
+			fmt.Fprintln(stderr, "eslurmlint:", err)
+			return 2
+		}
+		return 0
 	}
 
 	opts := lint.RunOptions{Workers: *workers, Lookup: loader.Loaded}

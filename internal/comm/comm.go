@@ -159,17 +159,20 @@ type instruments struct {
 	elapsed     *obs.Histogram
 }
 
-// broadcastElapsedBounds are the comm.broadcast_elapsed_ns bucket edges:
-// decades from 1 ms to 1000 s, covering a healthy in-rack delivery
-// through a full retry-and-timeout drain.
-var broadcastElapsedBounds = []int64{
-	int64(time.Millisecond),
-	int64(10 * time.Millisecond),
-	int64(100 * time.Millisecond),
-	int64(time.Second),
-	int64(10 * time.Second),
-	int64(100 * time.Second),
-	int64(1000 * time.Second),
+// broadcastElapsedBounds returns the comm.broadcast_elapsed_ns bucket
+// edges: decades from 1 ms to 1000 s, covering a healthy in-rack delivery
+// through a full retry-and-timeout drain. Built per call (once per
+// Broadcaster) so the bounds are never package-level mutable state.
+func broadcastElapsedBounds() []int64 {
+	return []int64{
+		int64(time.Millisecond),
+		int64(10 * time.Millisecond),
+		int64(100 * time.Millisecond),
+		int64(time.Second),
+		int64(10 * time.Second),
+		int64(100 * time.Second),
+		int64(1000 * time.Second),
+	}
 }
 
 func (b *Broadcaster) inst() *instruments {
@@ -181,7 +184,7 @@ func (b *Broadcaster) inst() *instruments {
 			messages:    m.Counter("comm.messages"),
 			retries:     m.Counter("comm.retries"),
 			outstanding: m.Gauge("comm.outstanding_sends"),
-			elapsed:     m.Histogram("comm.broadcast_elapsed_ns", broadcastElapsedBounds),
+			elapsed:     m.Histogram("comm.broadcast_elapsed_ns", broadcastElapsedBounds()),
 		}
 	}
 	return b.in

@@ -71,10 +71,10 @@ func (c FrameworkConfig) withDefaults() FrameworkConfig {
 
 // clusterWeights emphasize the categorical features when measuring job
 // similarity: two jobs are "similar" first by application, then by user,
-// then by scale and time of day. Applied after standardization.
-var clusterWeights = buildClusterWeights()
-
-func buildClusterWeights() [NumFeatures]float64 {
+// then by scale and time of day. Applied after standardization. Rebuilt
+// per weightFeatures call (a stack array of 15 constants) rather than
+// cached in a package-level var, which would be mutable shared state.
+func clusterWeights() [NumFeatures]float64 {
 	var w [NumFeatures]float64
 	for i := 0; i < nameDims; i++ {
 		w[i] = 2.0
@@ -89,8 +89,9 @@ func buildClusterWeights() [NumFeatures]float64 {
 }
 
 func weightFeatures(x []float64) []float64 {
+	w := clusterWeights()
 	for i := range x {
-		x[i] *= clusterWeights[i]
+		x[i] *= w[i]
 	}
 	return x
 }

@@ -74,12 +74,21 @@ func (s State) Terminal() bool {
 	return false
 }
 
-// validNext enumerates the legal transitions.
-var validNext = map[State][]State{
-	Pending:     {Configuring, Cancelled},
-	Configuring: {Running, Failed, Cancelled},
-	Running:     {Completing, Failed, Timeout, Cancelled},
-	Completing:  {Completed, Failed},
+// validTransition reports whether from → to is a legal lifecycle step.
+// A function rather than a package-level transition table keeps the
+// lifecycle free of mutable global state (globalmut).
+func validTransition(from, to State) bool {
+	switch from {
+	case Pending:
+		return to == Configuring || to == Cancelled
+	case Configuring:
+		return to == Running || to == Failed || to == Cancelled
+	case Running:
+		return to == Completing || to == Failed || to == Timeout || to == Cancelled
+	case Completing:
+		return to == Completed || to == Failed
+	}
+	return false
 }
 
 // Job is one job record.
@@ -177,14 +186,7 @@ func (r *Registry) Get(id ID) *Job {
 // the lifecycle and maintaining counters, timestamps, history and
 // fair-share usage.
 func (r *Registry) Transition(j *Job, to State, now time.Duration) error {
-	ok := false
-	for _, n := range validNext[j.state] {
-		if n == to {
-			ok = true
-			break
-		}
-	}
-	if !ok {
+	if !validTransition(j.state, to) {
 		return &ErrBadTransition{Job: j.ID, From: j.state, To: to}
 	}
 	r.counts[j.state]--

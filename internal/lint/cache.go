@@ -14,24 +14,30 @@ import (
 )
 
 // cacheSchema is folded into every cache key; bump it whenever the
-// serialized finding layout or the key derivation changes, so stale
-// entries from an older eslurmlint can never be replayed.
-const cacheSchema = "eslurmlint-cache-v1"
+// serialized payload layout or the key derivation changes, so stale
+// entries from an older eslurmlint can never be replayed. v2 widened the
+// payload from raw findings to the full per-package unit (surviving
+// findings, malformed directives, and directive usage) — see pkgResult.
+const cacheSchema = "eslurmlint-cache-v2"
 
-// Cache is a content-addressed store of per-package raw (pre-suppression)
-// findings. The key for a package hashes the analyzer set, the toolchain
-// version, and the full file contents of the package plus every
-// module-local package it transitively imports — a change anywhere in the
-// dependency closure (which can change type information and therefore
-// findings) invalidates the entry, while an untouched closure hits no
-// matter which other packages changed. Entries are one JSON file per key,
-// so the cache directory is safe to share between runs and trivially
-// prunable.
+// Cache is a content-addressed store of per-package results. The key for
+// a package hashes the analyzer set, the toolchain version, and the full
+// file contents of the package plus every module-local package it
+// transitively imports — a change anywhere in the dependency closure
+// (which can change type information and therefore findings) invalidates
+// the entry, while an untouched closure hits no matter which other
+// packages changed. Entries are one JSON file per key, so the cache
+// directory is safe to share between runs and trivially prunable.
 //
-// Only the per-package analysis is cached. Suppression filtering, the
-// module-level analyzers (taint, randlabel), and staleignore always run
-// live in assemble: their inputs span packages, so a per-package key
-// cannot witness them.
+// The payload is the complete pkgResult: the per-package findings that
+// survived the package's own suppressions, the malformed-directive
+// findings, and every directive's position and used flag. Replaying the
+// used flags is what keeps staleignore honest after a warm-cache run — a
+// hit that restored findings but not directive usage would make every
+// load-bearing directive in the package look stale. Module-level
+// analyzers (taint, randlabel, engineown, globalmut) and the staleignore
+// pass itself always run live in assemble: their inputs span packages,
+// so a per-package key cannot witness them.
 type Cache struct {
 	Dir string
 
@@ -125,22 +131,43 @@ type cachedFinding struct {
 	Message  string `json:"message"`
 }
 
-func (c *Cache) path(key string) string {
-	return filepath.Join(c.Dir, key+".json")
+// cachedDirective is the on-disk form of one directiveState. Used is the
+// part a findings-only payload would lose: whether the directive silenced
+// a per-package finding during the run that populated the entry.
+type cachedDirective struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Offset   int    `json:"offset"`
+	Analyzer string `json:"analyzer"`
+	Used     bool   `json:"used,omitempty"`
 }
 
-// Get returns the cached findings for key, distinguishing an empty result
-// (hit with zero findings) from a miss.
-func (c *Cache) Get(key string) ([]Finding, bool) {
-	data, err := os.ReadFile(c.path(key))
-	if err != nil {
-		c.misses.Add(1)
-		return nil, false
+// cachedUnit is the full v2 payload: one serialized pkgResult.
+type cachedUnit struct {
+	Findings   []cachedFinding   `json:"findings"`
+	Malformed  []cachedFinding   `json:"malformed,omitempty"`
+	Directives []cachedDirective `json:"directives,omitempty"`
+}
+
+func toCachedFindings(fs []Finding) []cachedFinding {
+	out := make([]cachedFinding, len(fs))
+	for i, f := range fs {
+		out[i] = cachedFinding{
+			File:     f.Pos.Filename,
+			Offset:   f.Pos.Offset,
+			Line:     f.Pos.Line,
+			Column:   f.Pos.Column,
+			Analyzer: f.Analyzer,
+			Message:  f.Message,
+		}
 	}
-	var entries []cachedFinding
-	if err := json.Unmarshal(data, &entries); err != nil {
-		c.misses.Add(1) // corrupt entry: treat as miss, a Put will overwrite it
-		return nil, false
+	return out
+}
+
+func fromCachedFindings(entries []cachedFinding) []Finding {
+	if len(entries) == 0 {
+		return nil
 	}
 	out := make([]Finding, len(entries))
 	for i, e := range entries {
@@ -150,25 +177,60 @@ func (c *Cache) Get(key string) ([]Finding, bool) {
 			Message:  e.Message,
 		}
 	}
-	c.hits.Add(1)
-	return out, true
+	return out
 }
 
-// Put stores findings under key. The write goes through a temp file and
-// rename so concurrent workers (or runs) never observe a torn entry.
-func (c *Cache) Put(key string, findings []Finding) error {
-	entries := make([]cachedFinding, len(findings))
-	for i, f := range findings {
-		entries[i] = cachedFinding{
-			File:     f.Pos.Filename,
-			Offset:   f.Pos.Offset,
-			Line:     f.Pos.Line,
-			Column:   f.Pos.Column,
-			Analyzer: f.Analyzer,
-			Message:  f.Message,
-		}
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.Dir, key+".json")
+}
+
+// Get returns the cached per-package result for key, distinguishing an
+// empty result (hit with zero findings) from a miss.
+func (c *Cache) Get(key string) (*pkgResult, bool) {
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		c.misses.Add(1)
+		return nil, false
 	}
-	data, err := json.Marshal(entries)
+	var unit cachedUnit
+	if err := json.Unmarshal(data, &unit); err != nil {
+		c.misses.Add(1) // corrupt entry: treat as miss, a Put will overwrite it
+		return nil, false
+	}
+	res := &pkgResult{
+		findings:  fromCachedFindings(unit.Findings),
+		malformed: fromCachedFindings(unit.Malformed),
+	}
+	for _, d := range unit.Directives {
+		res.directives = append(res.directives, directiveState{
+			key:  suppression{file: d.File, line: d.Line, analyzer: d.Analyzer},
+			pos:  token.Position{Filename: d.File, Offset: d.Offset, Line: d.Line, Column: d.Column},
+			used: d.Used,
+		})
+	}
+	c.hits.Add(1)
+	return res, true
+}
+
+// Put stores a per-package result under key. The write goes through a
+// temp file and rename so concurrent workers (or runs) never observe a
+// torn entry.
+func (c *Cache) Put(key string, res *pkgResult) error {
+	unit := cachedUnit{
+		Findings:  toCachedFindings(res.findings),
+		Malformed: toCachedFindings(res.malformed),
+	}
+	for _, d := range res.directives {
+		unit.Directives = append(unit.Directives, cachedDirective{
+			File:     d.key.file,
+			Line:     d.key.line,
+			Column:   d.pos.Column,
+			Offset:   d.pos.Offset,
+			Analyzer: d.key.analyzer,
+			Used:     d.used,
+		})
+	}
+	data, err := json.Marshal(unit)
 	if err != nil {
 		return err
 	}

@@ -4,6 +4,7 @@ import (
 	"go/token"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -127,8 +128,10 @@ func TestCacheKeyNilLookup(t *testing.T) {
 }
 
 // TestCacheRoundTrip pins Get/Put, including the empty-result hit (a
-// clean package is a hit with zero findings, not a miss) and position
-// fidelity (suppression matching downstream needs exact file/line).
+// clean package is a hit with zero findings, not a miss), position
+// fidelity (suppression matching downstream needs exact file/line), and
+// directive-usage fidelity (staleignore after a warm run needs the used
+// flags back byte-for-byte).
 func TestCacheRoundTrip(t *testing.T) {
 	cache, err := NewCache(t.TempDir())
 	if err != nil {
@@ -137,23 +140,47 @@ func TestCacheRoundTrip(t *testing.T) {
 	if _, ok := cache.Get("absent"); ok {
 		t.Fatal("hit on a key never stored")
 	}
-	in := []Finding{{
-		Pos:      token.Position{Filename: "/x/y.go", Offset: 120, Line: 9, Column: 3},
-		Analyzer: "walltime",
-		Message:  "msg with \"quotes\" and — unicode",
-	}}
+	in := &pkgResult{
+		findings: []Finding{{
+			Pos:      token.Position{Filename: "/x/y.go", Offset: 120, Line: 9, Column: 3},
+			Analyzer: "walltime",
+			Message:  "msg with \"quotes\" and — unicode",
+		}},
+		malformed: []Finding{{
+			Pos:      token.Position{Filename: "/x/y.go", Offset: 10, Line: 2, Column: 1},
+			Analyzer: "suppress",
+			Message:  "empty eslurmlint directive",
+		}},
+		directives: []directiveState{
+			{
+				key:  suppression{file: "/x/y.go", line: 4, analyzer: "detrand"},
+				pos:  token.Position{Filename: "/x/y.go", Offset: 40, Line: 4, Column: 2},
+				used: true,
+			},
+			{
+				key: suppression{file: "/x/y.go", line: 8, analyzer: "walltime"},
+				pos: token.Position{Filename: "/x/y.go", Offset: 90, Line: 8, Column: 2},
+			},
+		},
+	}
 	if err := cache.Put("k1", in); err != nil {
 		t.Fatal(err)
 	}
 	out, ok := cache.Get("k1")
-	if !ok || len(out) != 1 || out[0] != in[0] {
-		t.Fatalf("round trip mismatch: ok=%v out=%+v", ok, out)
+	if !ok || len(out.findings) != 1 || out.findings[0] != in.findings[0] {
+		t.Fatalf("findings round trip mismatch: ok=%v out=%+v", ok, out)
 	}
-	if err := cache.Put("k2", nil); err != nil {
+	if len(out.malformed) != 1 || out.malformed[0] != in.malformed[0] {
+		t.Fatalf("malformed round trip mismatch: %+v", out.malformed)
+	}
+	if len(out.directives) != 2 || out.directives[0] != in.directives[0] || out.directives[1] != in.directives[1] {
+		t.Fatalf("directive round trip mismatch (used flags must survive): %+v", out.directives)
+	}
+	if err := cache.Put("k2", &pkgResult{}); err != nil {
 		t.Fatal(err)
 	}
-	if out, ok := cache.Get("k2"); !ok || len(out) != 0 {
-		t.Fatalf("empty entry: ok=%v len=%d, want hit with zero findings", ok, len(out))
+	if out, ok := cache.Get("k2"); !ok || len(out.findings) != 0 || len(out.directives) != 0 {
+		t.Fatalf("empty entry: ok=%v out=%+v, want hit with zero findings", ok, out)
 	}
 	// Corrupt entry: must degrade to a miss, never a panic or bad data.
 	if err := os.WriteFile(cache.path("k3"), []byte("{not json"), 0o644); err != nil {
@@ -161,5 +188,84 @@ func TestCacheRoundTrip(t *testing.T) {
 	}
 	if _, ok := cache.Get("k3"); ok {
 		t.Error("corrupt entry reported as a hit")
+	}
+}
+
+// TestCacheStaleignoreWarmRun is the regression test for the
+// staleignore × cache interaction: a load-bearing //eslurmlint:ignore in
+// a cached package must not be reported stale on the warm run, and a
+// genuinely stale directive must be reported on cold and warm runs
+// alike. Output must be byte-identical across cache states.
+func TestCacheStaleignoreWarmRun(t *testing.T) {
+	root := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.22\n",
+		"sim/sim.go": `//eslurmlint:testpath tmpmod/internal/sim
+
+// Package sim is a cache-staleignore fixture.
+package sim
+
+import "time"
+
+// Used suppression: silences a real walltime finding.
+func Wall() time.Time {
+	//eslurmlint:ignore walltime fixture timestamp, never reaches a simulation
+	return time.Now()
+}
+
+// Stale suppression: there is no walltime finding here.
+func Quiet() int {
+	//eslurmlint:ignore walltime nothing to silence, must be reported stale
+	return 1
+}
+`,
+	}
+	for name, content := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cache, err := NewCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyzers := []*Analyzer{WalltimeAnalyzer, StaleignoreAnalyzer}
+	runOnce := func() []Finding {
+		l, p := loadTemp(t, root, "sim")
+		if tp, ok := testPathOverride(p); ok {
+			p.ImportPath = tp
+		}
+		return RunParallel([]*Package{p}, analyzers, RunOptions{Cache: cache, Lookup: l.Loaded})
+	}
+
+	cold := runOnce()
+	h0, m0 := cache.Stats()
+	warm := runOnce()
+	h1, _ := cache.Stats()
+	if h1 == h0 {
+		t.Fatalf("second run did not hit the cache (hits %d -> %d, misses %d)", h0, h1, m0)
+	}
+
+	render := func(fs []Finding) string {
+		var b strings.Builder
+		for _, f := range fs {
+			b.WriteString(f.String())
+			b.WriteString("\n")
+		}
+		return b.String()
+	}
+	if render(cold) != render(warm) {
+		t.Fatalf("warm-cache output diverged from cold run:\ncold:\n%swarm:\n%s", render(cold), render(warm))
+	}
+	if len(warm) != 1 {
+		t.Fatalf("want exactly the one stale-directive finding, got %d:\n%s", len(warm), render(warm))
+	}
+	f := warm[0]
+	if f.Analyzer != "staleignore" || f.Pos.Line != 16 {
+		t.Fatalf("want staleignore at line 16 (the stale directive), got %s", f)
 	}
 }

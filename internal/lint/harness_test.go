@@ -225,6 +225,23 @@ func TestPkgdoc(t *testing.T) {
 	runCase(t, "pkgdoc_suppressed", PkgdocAnalyzer)
 }
 
+// TestEngineown pins the ownership escape analysis, including (in
+// engineown_bad) the owner → hops → escape chains the messages carry.
+func TestEngineown(t *testing.T) {
+	runCase(t, "engineown_bad", EngineownAnalyzer)
+	runCase(t, "engineown_good", EngineownAnalyzer)
+	runCase(t, "engineown_suppressed", EngineownAnalyzer)
+}
+
+// TestGlobalmut pins the global-state audit, including the internal/lint
+// scope exemption (globalmut_exempt).
+func TestGlobalmut(t *testing.T) {
+	runCase(t, "globalmut_bad", GlobalmutAnalyzer)
+	runCase(t, "globalmut_good", GlobalmutAnalyzer)
+	runCase(t, "globalmut_exempt", GlobalmutAnalyzer)
+	runCase(t, "globalmut_suppressed", GlobalmutAnalyzer)
+}
+
 func TestStaleignore(t *testing.T) {
 	runCase(t, "staleignore_bad", WalltimeAnalyzer, StaleignoreAnalyzer)
 	runCase(t, "staleignore_good", WalltimeAnalyzer, StaleignoreAnalyzer)
@@ -260,7 +277,7 @@ func TestFindingString(t *testing.T) {
 	if got, want := f.String(), "a/b.go:7: [detrand] msg"; got != want {
 		t.Fatalf("String() = %q, want %q", got, want)
 	}
-	if fmt.Sprint(len(Analyzers())) != "11" {
-		t.Fatalf("expected 11 analyzers, got %d", len(Analyzers()))
+	if fmt.Sprint(len(Analyzers())) != "13" {
+		t.Fatalf("expected 13 analyzers, got %d", len(Analyzers()))
 	}
 }

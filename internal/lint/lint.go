@@ -78,7 +78,8 @@ func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		WalltimeAnalyzer, DetrandAnalyzer, MaporderAnalyzer, ErrdropAnalyzer,
 		EvallocAnalyzer, GosimAnalyzer, TaintAnalyzer, FloatsumAnalyzer,
-		RandlabelAnalyzer, StaleignoreAnalyzer, PkgdocAnalyzer,
+		RandlabelAnalyzer, EngineownAnalyzer, GlobalmutAnalyzer,
+		StaleignoreAnalyzer, PkgdocAnalyzer,
 	}
 }
 
@@ -98,58 +99,115 @@ func AnalyzerNames() []string {
 // serial reference pipeline; the CLI drives RunParallel, which must
 // produce byte-identical output.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
-	raw := make([][]Finding, len(pkgs))
+	raw := make([]*pkgResult, len(pkgs))
 	for i, p := range pkgs {
 		raw[i] = runPerPackage(p, analyzers)
 	}
 	return assemble(pkgs, analyzers, raw)
 }
 
-// runPerPackage executes the single-package analyzers over one package,
-// returning raw (pre-suppression) findings. This is the unit of work the
-// parallel driver distributes and the result cache stores.
-func runPerPackage(p *Package, analyzers []*Analyzer) []Finding {
-	var out []Finding
+// pkgResult is the complete per-package unit of work: the single-package
+// analyzer findings that survived this package's own suppressions, any
+// malformed-directive findings, and the state of every directive —
+// including whether it was load-bearing. Carrying the used flags in the
+// unit (and therefore in the result cache's payload) is what keeps
+// staleignore correct on warm-cache runs: a replayed package must replay
+// which directives it consumed, not just which findings survived.
+type pkgResult struct {
+	findings   []Finding
+	malformed  []Finding
+	directives []directiveState
+}
+
+// directiveState is the serializable form of one suppression directive.
+type directiveState struct {
+	key  suppression
+	pos  token.Position
+	used bool
+}
+
+// knownAnalyzers is the directive-validation set: every registered
+// analyzer plus any extra analyzers enabled for this invocation. A
+// directive may name any registered analyzer without being "malformed",
+// even when the invocation enables a subset.
+func knownAnalyzers(analyzers []*Analyzer) map[string]bool {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
 	for _, a := range analyzers {
-		if a.Run != nil {
-			out = append(out, a.Run(p)...)
+		known[a.Name] = true
+	}
+	return known
+}
+
+// runPerPackage executes the single-package analyzers over one package
+// and applies the package's own suppressions. This is the unit of work
+// the parallel driver distributes and the result cache stores.
+func runPerPackage(p *Package, analyzers []*Analyzer) *pkgResult {
+	sups, malformed := collectSuppressions(p, knownAnalyzers(analyzers))
+	res := &pkgResult{malformed: malformed}
+	for _, a := range analyzers {
+		if a.Run == nil {
+			continue
+		}
+		for _, f := range a.Run(p) {
+			if !sups.covers(f) {
+				res.findings = append(res.findings, f)
+			}
 		}
 	}
+	res.directives = flattenSuppressions(sups)
+	return res
+}
+
+// flattenSuppressions renders a suppressionSet as a sorted slice, so
+// per-package results (and cache payloads) are deterministic.
+func flattenSuppressions(sups suppressionSet) []directiveState {
+	out := make([]directiveState, 0, len(sups))
+	for k, e := range sups {
+		out = append(out, directiveState{key: k, pos: e.pos, used: e.used})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].key, out[j].key
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.line != b.line {
+			return a.line < b.line
+		}
+		return a.analyzer < b.analyzer
+	})
 	return out
 }
 
-// assemble completes the pipeline after per-package analysis: module-wide
-// analyzers, suppression filtering (tracking which directives were
-// load-bearing), the staleignore pass over unused directives, and the
-// final position sort.
-func assemble(pkgs []*Package, analyzers []*Analyzer, raw [][]Finding) []Finding {
+// assemble completes the pipeline after per-package analysis: it rebuilds
+// the module-wide suppression set from the per-package directive states
+// (used flags included — they may have come from the cache), runs the
+// module-wide analyzers live, filters them against the set, runs the
+// staleignore pass over directives that silenced nothing anywhere, and
+// sorts. Module analyzers always run live: their evidence spans packages,
+// so a per-package cache key cannot witness them.
+func assemble(pkgs []*Package, analyzers []*Analyzer, raw []*pkgResult) []Finding {
 	enabled := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
 		enabled[a.Name] = true
 	}
-	known := make(map[string]bool, len(enabled))
-	for _, a := range Analyzers() {
-		known[a.Name] = true
-	}
-	// A directive may name any registered analyzer without being
-	// "malformed", even when this invocation enables a subset.
-	for name := range enabled {
-		known[name] = true
-	}
 
 	sups := make(suppressionSet)
 	var out []Finding
-	for _, p := range pkgs {
-		ps, malformed := collectSuppressions(p, known)
-		for k, e := range ps {
-			sups[k] = e
+	for _, res := range raw {
+		for _, d := range res.directives {
+			if e := sups[d.key]; e != nil {
+				e.used = e.used || d.used
+			} else {
+				sups[d.key] = &supEntry{pos: d.pos, used: d.used}
+			}
 		}
-		out = append(out, malformed...)
+		out = append(out, res.malformed...)
+		out = append(out, res.findings...)
 	}
 	var pending []Finding
-	for _, fs := range raw {
-		pending = append(pending, fs...)
-	}
 	for _, a := range analyzers {
 		if a.RunModule != nil {
 			pending = append(pending, a.RunModule(pkgs)...)

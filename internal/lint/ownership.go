@@ -1,0 +1,216 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"go/types"
+	"io"
+	"path/filepath"
+	"sort"
+)
+
+// The -ownership report is the sharding PR's work list: for every
+// internal/ package it dumps which named types carry engine affinity
+// (and through which field), which functions receive, accept, or return
+// engine-owned values, where ownership escapes its goroutine (and
+// whether the site carries a reasoned suppression), and which
+// package-level vars the global-state audit flags. The report is built
+// from the very same ownWorld and globalmut records the analyzers run
+// on, so it can never disagree with the findings, and its output is
+// fully sorted so byte-identical reruns are a contract (CI archives it
+// as an artifact).
+
+// ownershipSchema versions the report format.
+const ownershipSchema = "eslurmlint-ownership-v1"
+
+// OwnershipReport is the top-level -ownership JSON document.
+type OwnershipReport struct {
+	Schema   string              `json:"schema"`
+	Packages []*OwnershipPackage `json:"packages"`
+}
+
+// OwnershipPackage is the per-package affinity map.
+type OwnershipPackage struct {
+	ImportPath       string            `json:"import_path"`
+	EngineBoundTypes []OwnershipType   `json:"engine_bound_types,omitempty"`
+	EngineBearers    []OwnershipBearer `json:"engine_bearers,omitempty"`
+	Escapes          []OwnershipEscape `json:"escapes,omitempty"`
+	MutableGlobals   []OwnershipGlobal `json:"mutable_globals,omitempty"`
+}
+
+// OwnershipType is one engine-bound named type and the field that binds
+// it (the witness from the transitive reachability computation).
+type OwnershipType struct {
+	Name string `json:"name"`
+	Via  string `json:"via"`
+}
+
+// OwnershipBearer is one function that handles engine-owned values: a
+// bound receiver, bound parameters (by index), or owned returns.
+type OwnershipBearer struct {
+	Func          string `json:"func"`
+	Pos           string `json:"pos"`
+	ReceiverBound bool   `json:"receiver_bound,omitempty"`
+	BoundParams   []int  `json:"bound_params,omitempty"`
+	ReturnsOwned  bool   `json:"returns_owned,omitempty"`
+}
+
+// OwnershipEscape is one site where an engine-owned value leaves its
+// goroutine. Suppressed escapes stay in the report — a suppression is a
+// sanctioned exception the sharding PR must still reckon with.
+type OwnershipEscape struct {
+	Kind       string `json:"kind"` // "goroutine" | "channel" | "global"
+	Pos        string `json:"pos"`
+	Detail     string `json:"detail"`
+	Suppressed bool   `json:"suppressed,omitempty"`
+}
+
+// OwnershipGlobal is one package-level var from the globalmut audit.
+type OwnershipGlobal struct {
+	Name       string `json:"name"`
+	Type       string `json:"type"`
+	Pos        string `json:"pos"`
+	Written    bool   `json:"written,omitempty"`
+	Suppressed bool   `json:"suppressed,omitempty"`
+}
+
+// BuildOwnership computes the affinity map for every internal/ package
+// in pkgs. Positions are rendered relative to baseDir.
+func BuildOwnership(pkgs []*Package, baseDir string) *OwnershipReport {
+	ow := newOwnWorld(pkgs)
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	sups := make(suppressionSet)
+	for _, p := range pkgs {
+		ps, _ := collectSuppressions(p, known)
+		for k, e := range ps {
+			sups[k] = e
+		}
+	}
+
+	byPath := make(map[string]*OwnershipPackage)
+	pkgFor := func(path string) *OwnershipPackage {
+		op := byPath[path]
+		if op == nil {
+			op = &OwnershipPackage{ImportPath: path}
+			byPath[path] = op
+		}
+		return op
+	}
+	typesPkgPath := make(map[*types.Package]string)
+	for _, p := range pkgs {
+		typesPkgPath[p.Types] = p.ImportPath
+	}
+
+	var boundNamed []*types.Named
+	for n, bound := range ow.bound {
+		if bound && n.Obj().Pkg() != nil {
+			boundNamed = append(boundNamed, n)
+		}
+	}
+	sort.Slice(boundNamed, func(i, j int) bool {
+		return boundNamed[i].Obj().Name() < boundNamed[j].Obj().Name()
+	})
+	for _, n := range boundNamed {
+		path, ok := typesPkgPath[n.Obj().Pkg()]
+		if !ok || !underInternal(path) {
+			continue
+		}
+		op := pkgFor(path)
+		op.EngineBoundTypes = append(op.EngineBoundTypes, OwnershipType{
+			Name: n.Obj().Name(),
+			Via:  ow.boundVia[n],
+		})
+	}
+
+	for _, of := range ow.ordered {
+		if !underInternal(of.pkg.ImportPath) {
+			continue
+		}
+		b := OwnershipBearer{
+			Func:         of.name,
+			Pos:          relPos(of.pkg.Fset.Position(of.decl.Pos()), baseDir),
+			ReturnsOwned: of.retChain != nil || of.paramRet != 0,
+		}
+		if of.decl.Recv != nil && len(of.decl.Recv.List) > 0 {
+			b.ReceiverBound = ow.typeBound(of.pkg.Info.TypeOf(of.decl.Recv.List[0].Type))
+		}
+		var boundParams []int
+		for v, i := range of.paramIdx {
+			if ow.typeBound(v.Type()) {
+				boundParams = append(boundParams, i)
+			}
+		}
+		sort.Ints(boundParams)
+		b.BoundParams = boundParams
+		if b.ReceiverBound || len(b.BoundParams) > 0 || b.ReturnsOwned {
+			pkgFor(of.pkg.ImportPath).EngineBearers = append(pkgFor(of.pkg.ImportPath).EngineBearers, b)
+		}
+	}
+
+	for _, rec := range ow.escapes(pkgs) {
+		op := pkgFor(rec.pkg.ImportPath)
+		op.Escapes = append(op.Escapes, OwnershipEscape{
+			Kind:       rec.kind,
+			Pos:        relPos(rec.pos, baseDir),
+			Detail:     rec.finding.Message,
+			Suppressed: sups.covers(rec.finding),
+		})
+	}
+
+	for _, r := range collectGlobalmut(pkgs) {
+		op := pkgFor(r.pkg.ImportPath)
+		op.MutableGlobals = append(op.MutableGlobals, OwnershipGlobal{
+			Name:       r.name,
+			Type:       r.typ,
+			Pos:        relPos(r.pos, baseDir),
+			Written:    r.write != nil,
+			Suppressed: sups.covers(r.finding()),
+		})
+	}
+
+	report := &OwnershipReport{Schema: ownershipSchema}
+	paths := make([]string, 0, len(byPath))
+	for path := range byPath {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		op := byPath[path]
+		sort.Slice(op.EngineBoundTypes, func(i, j int) bool {
+			return op.EngineBoundTypes[i].Name < op.EngineBoundTypes[j].Name
+		})
+		sort.Slice(op.EngineBearers, func(i, j int) bool {
+			a, b := op.EngineBearers[i], op.EngineBearers[j]
+			if a.Pos != b.Pos {
+				return a.Pos < b.Pos
+			}
+			return a.Func < b.Func
+		})
+		// Escapes and globals inherit the deterministic order of their
+		// source passes; no re-sort needed, but keep them stable anyway.
+		report.Packages = append(report.Packages, op)
+	}
+	return report
+}
+
+// WriteOwnership renders the report as indented JSON, trailing newline
+// included, so the artifact diffs cleanly.
+func WriteOwnership(w io.Writer, pkgs []*Package, baseDir string) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(BuildOwnership(pkgs, baseDir))
+}
+
+// relPos renders "file:line" with the filename relative to baseDir when
+// that is shorter (the SARIF writer's convention).
+func relPos(pos token.Position, baseDir string) string {
+	name := pos.Filename
+	if rel, err := filepath.Rel(baseDir, name); err == nil && len(rel) < len(name) {
+		name = rel
+	}
+	return fmt.Sprintf("%s:%d", name, pos.Line)
+}

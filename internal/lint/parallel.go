@@ -11,9 +11,10 @@ type RunOptions struct {
 	// Workers is the number of concurrent per-package analysis workers;
 	// <= 0 means runtime.GOMAXPROCS(0).
 	Workers int
-	// Cache, when non-nil, stores per-package raw findings keyed by a
-	// content hash of the package and its module-local dependency closure,
-	// so unchanged packages skip analysis on the next run.
+	// Cache, when non-nil, stores per-package results (surviving findings
+	// plus directive usage) keyed by a content hash of the package and its
+	// module-local dependency closure, so unchanged packages skip analysis
+	// on the next run.
 	Cache *Cache
 	// Lookup resolves a module-local import path to its loaded package;
 	// the cache needs it to hash dependency closures. Typically
@@ -36,13 +37,13 @@ func RunParallel(pkgs []*Package, analyzers []*Analyzer, opts RunOptions) []Find
 		workers = len(pkgs)
 	}
 	if workers <= 1 {
-		raw := make([][]Finding, len(pkgs))
+		raw := make([]*pkgResult, len(pkgs))
 		for i, p := range pkgs {
 			raw[i] = analyzeOne(p, analyzers, opts)
 		}
 		return assemble(pkgs, analyzers, raw)
 	}
-	raw := make([][]Finding, len(pkgs))
+	raw := make([]*pkgResult, len(pkgs))
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -67,7 +68,7 @@ func RunParallel(pkgs []*Package, analyzers []*Analyzer, opts RunOptions) []Find
 // the cache first when configured. Cache failures (unreadable files, a
 // missing lookup entry) silently fall back to a live run: the cache is an
 // accelerator, never a correctness dependency.
-func analyzeOne(p *Package, analyzers []*Analyzer, opts RunOptions) []Finding {
+func analyzeOne(p *Package, analyzers []*Analyzer, opts RunOptions) *pkgResult {
 	if opts.Cache == nil {
 		return runPerPackage(p, analyzers)
 	}

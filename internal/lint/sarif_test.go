@@ -3,6 +3,8 @@ package lint
 import (
 	"encoding/json"
 	"go/token"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -87,7 +89,8 @@ func TestWriteSARIF(t *testing.T) {
 }
 
 // TestWriteSARIFEmpty: a clean run still emits a complete log with an
-// empty (not null) results array — upload actions reject null.
+// empty (not null) results array — upload actions reject null — and the
+// full rule table, so code scanning can close out previously open alerts.
 func TestWriteSARIFEmpty(t *testing.T) {
 	var b strings.Builder
 	if err := WriteSARIF(&b, nil, Analyzers(), "/repo"); err != nil {
@@ -99,5 +102,95 @@ func TestWriteSARIFEmpty(t *testing.T) {
 	log := decodeSARIF(t, b.String())
 	if len(log.Runs) != 1 || log.Runs[0].Results == nil {
 		t.Error("runs/results shape wrong for the empty log")
+	}
+	if got, want := len(log.Runs[0].Tool.Driver.Rules), len(Analyzers())+1; got != want {
+		t.Errorf("empty log carries %d rules, want %d (all analyzers + suppress)", got, want)
+	}
+}
+
+// TestWriteSARIFMultiPackage: findings spanning several packages land in
+// one run, keep their input (position-sorted) order, and each URI is
+// relativized independently.
+func TestWriteSARIFMultiPackage(t *testing.T) {
+	findings := []Finding{
+		{Pos: token.Position{Filename: "/repo/internal/comm/comm.go", Line: 5, Column: 2}, Analyzer: "walltime", Message: "a"},
+		{Pos: token.Position{Filename: "/repo/internal/sched/controller.go", Line: 9, Column: 1}, Analyzer: "detrand", Message: "b"},
+		{Pos: token.Position{Filename: "/repo/internal/simnet/engine.go", Line: 1, Column: 1}, Analyzer: "globalmut", Message: "c"},
+	}
+	var b strings.Builder
+	if err := WriteSARIF(&b, findings, Analyzers(), "/repo"); err != nil {
+		t.Fatal(err)
+	}
+	log := decodeSARIF(t, b.String())
+	run := log.Runs[0]
+	if len(run.Results) != 3 {
+		t.Fatalf("results = %d, want 3", len(run.Results))
+	}
+	wantURIs := []string{"internal/comm/comm.go", "internal/sched/controller.go", "internal/simnet/engine.go"}
+	wantRules := []string{"walltime", "detrand", "globalmut"}
+	for i, r := range run.Results {
+		if uri := r.Locations[0].PhysicalLocation.ArtifactLocation.URI; uri != wantURIs[i] {
+			t.Errorf("result %d uri = %q, want %q", i, uri, wantURIs[i])
+		}
+		if r.RuleID != wantRules[i] {
+			t.Errorf("result %d ruleId = %q, want %q", i, r.RuleID, wantRules[i])
+		}
+	}
+}
+
+// TestSARIFSuppressedNotSurfaced drives the full pipeline into the SARIF
+// writer: a finding silenced by a reasoned //eslurmlint:ignore must not
+// appear as a code-scanning alert, while an unsuppressed finding in the
+// same package must.
+func TestSARIFSuppressedNotSurfaced(t *testing.T) {
+	root := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.22\n",
+		"sim/sim.go": `//eslurmlint:testpath tmpmod/internal/sim
+
+// Package sim is a SARIF suppression fixture.
+package sim
+
+import "time"
+
+// Suppressed reads the clock under a reasoned ignore.
+func Suppressed() time.Time {
+	//eslurmlint:ignore walltime fixture timestamp, never reaches a simulation
+	return time.Now()
+}
+
+// Live reads the clock with no suppression: the one expected alert.
+func Live() time.Time {
+	return time.Now()
+}
+`,
+	}
+	for name, content := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, p := loadTemp(t, root, "sim")
+	if tp, ok := testPathOverride(p); ok {
+		p.ImportPath = tp
+	}
+	analyzers := []*Analyzer{WalltimeAnalyzer}
+	findings := Run([]*Package{p}, analyzers)
+
+	var b strings.Builder
+	if err := WriteSARIF(&b, findings, analyzers, root); err != nil {
+		t.Fatal(err)
+	}
+	log := decodeSARIF(t, b.String())
+	results := log.Runs[0].Results
+	if len(results) != 1 {
+		t.Fatalf("results = %d, want exactly the unsuppressed finding:\n%s", len(results), b.String())
+	}
+	if got := results[0].Locations[0].PhysicalLocation.Region.StartLine; got != 16 {
+		t.Errorf("surviving alert at line %d, want 16 (the Live site); the suppressed site must not surface", got)
 	}
 }

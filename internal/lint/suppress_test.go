@@ -20,7 +20,7 @@ func parseOnly(t *testing.T, src string) *Package {
 	return &Package{ImportPath: "eslurm/internal/x", Fset: fset, Files: []*ast.File{f}}
 }
 
-var knownAnalyzers = map[string]bool{
+var testKnownSet = map[string]bool{
 	"walltime": true, "detrand": true, "maporder": true, "errdrop": true,
 }
 
@@ -33,7 +33,7 @@ func f() {
 	_ = 2 //eslurmlint:ignore walltime decorative timestamp
 }
 `)
-	sups, malformed := collectSuppressions(p, knownAnalyzers)
+	sups, malformed := collectSuppressions(p, testKnownSet)
 	if len(malformed) != 0 {
 		t.Fatalf("unexpected malformed findings: %v", malformed)
 	}
@@ -79,7 +79,7 @@ func TestSuppressionMalformed(t *testing.T) {
 	}
 	for _, tc := range cases {
 		p := parseOnly(t, "package x\n\n"+tc.src+"\nfunc f() {}\n")
-		sups, malformed := collectSuppressions(p, knownAnalyzers)
+		sups, malformed := collectSuppressions(p, testKnownSet)
 		if len(sups) != 0 {
 			t.Errorf("%q: malformed directive still registered a suppression", tc.src)
 		}
@@ -102,7 +102,7 @@ func TestSuppressionCommaList(t *testing.T) {
 //eslurmlint:ignore detrand,walltime fixture value, never reaches the simulation
 func f() {}
 `)
-	sups, malformed := collectSuppressions(p, knownAnalyzers)
+	sups, malformed := collectSuppressions(p, testKnownSet)
 	if len(malformed) != 0 {
 		t.Fatalf("unexpected malformed findings: %v", malformed)
 	}
@@ -136,7 +136,7 @@ func f() {}
 func TestSuppressionLastLine(t *testing.T) {
 	src := "package x\n\nfunc f() {}\n\n//eslurmlint:ignore detrand trailing fixture note"
 	p := parseOnly(t, src)
-	sups, malformed := collectSuppressions(p, knownAnalyzers)
+	sups, malformed := collectSuppressions(p, testKnownSet)
 	if len(malformed) != 0 {
 		t.Fatalf("unexpected malformed findings: %v", malformed)
 	}
@@ -176,7 +176,7 @@ func f() {}
 
 func TestSuppressionTestpathTolerated(t *testing.T) {
 	p := parseOnly(t, "//eslurmlint:testpath eslurm/cmd/x\npackage x\n")
-	_, malformed := collectSuppressions(p, knownAnalyzers)
+	_, malformed := collectSuppressions(p, testKnownSet)
 	if len(malformed) != 0 {
 		t.Fatalf("testpath directive reported as malformed: %v", malformed)
 	}

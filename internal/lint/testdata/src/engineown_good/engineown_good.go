@@ -1,0 +1,71 @@
+//eslurmlint:testpath eslurm/internal/engineown_good
+
+// Package engineown_good is compliant ownership code: engine-owned values
+// stay on their owning goroutine, only engine-free snapshots (basic
+// values, serialized copies) cross goroutine or global boundaries.
+package engineown_good
+
+import "time"
+
+// Engine mimics the simnet kernel surface.
+type Engine struct {
+	now time.Duration
+}
+
+func (e *Engine) Rand(label string) *Stream        { return &Stream{} }
+func (e *Engine) Seed() int64                      { return 0 }
+func (e *Engine) Now() time.Duration               { return e.now }
+func (e *Engine) After(d time.Duration, fn func()) {}
+
+type Stream struct{ state uint64 }
+
+func (s *Stream) Int() int { return 0 }
+
+type Pool struct {
+	e    *Engine
+	size int
+}
+
+// EngineLocal keeps everything on the constructing goroutine: scheduled
+// callbacks run on the engine's own loop, not a new goroutine.
+func EngineLocal(e *Engine) {
+	rng := e.Rand("sched")
+	e.After(time.Second, func() {
+		rng.Int()
+	})
+}
+
+// Snapshot sends only basic-typed snapshots across the channel: seeds and
+// virtual times are values, not aliases into engine state.
+func Snapshot(e *Engine, ch chan int64) {
+	ch <- e.Seed()
+	go report(e.Seed(), e.Now())
+}
+
+func report(seed int64, now time.Duration) {}
+
+// Threaded passes owned values down the call graph on the same
+// goroutine: returning or receiving an owned value is not an escape.
+func Threaded(e *Engine) *Stream {
+	p := &Pool{e: e, size: 1}
+	return use(p)
+}
+
+func use(p *Pool) *Stream {
+	return p.e.Rand("pool")
+}
+
+// freshStream never touches an engine, so moving it across goroutines is
+// fine: ownership comes from derivation, not from the Stream type.
+func freshStream() *Stream { return &Stream{} }
+
+// IndependentWorkers fans plain data out to a worker goroutine; nothing
+// captured or sent is engine-derived.
+func IndependentWorkers(jobs chan int, results chan int) {
+	s := freshStream()
+	go func() {
+		for j := range jobs {
+			results <- j + s.Int()
+		}
+	}()
+}

@@ -1,0 +1,25 @@
+//eslurmlint:testpath eslurm/internal/engineown_suppressed
+
+// Package engineown_suppressed pins the suppression path: a reasoned
+// //eslurmlint:ignore on the escape site silences the finding.
+package engineown_suppressed
+
+import "time"
+
+// Engine mimics the simnet kernel surface.
+type Engine struct {
+	now time.Duration
+}
+
+func (e *Engine) Step() bool { return false }
+
+// Drain is a sanctioned cross-goroutine handoff: the engine is fully
+// stopped before the goroutine starts, so ownership has already been
+// transferred (the suppression documents the protocol).
+func Drain(e *Engine, done chan struct{}) {
+	go func() {
+		//eslurmlint:ignore engineown engine is stopped and handed off wholesale before this goroutine starts; ownership transfers, it is not shared
+		e.Step()
+		close(done)
+	}()
+}

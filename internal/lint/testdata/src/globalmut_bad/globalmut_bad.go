@@ -1,0 +1,36 @@
+//eslurmlint:testpath eslurm/internal/globalmut_bad
+
+// Package globalmut_bad exercises the global-state audit: every mutable
+// package-level var class must fire, and written vars of immutable type
+// must fire with the write site in the message.
+package globalmut_bad
+
+import "sync"
+
+var cache = map[string]int{} // want "package-level var cache (map[string]int) is mutable shared state"
+
+var order []string // want "package-level var order ([]string) is mutable shared state"
+
+var current *Config // want "package-level var current (*globalmut_bad.Config) is mutable shared state"
+
+var mu sync.Mutex // want "package-level var mu (sync.Mutex) is mutable shared state: written via pointer-receiver call to Lock"
+
+var weights [4]float64 // want "package-level var weights ([4]float64) is mutable shared state"
+
+var updates chan int // want "package-level var updates (chan int) is mutable shared state"
+
+// calls is immutable-typed (int) but observably written, so it fires
+// with the increment site.
+var calls int // want "package-level var calls (int) is mutable shared state: written via increment"
+
+// sink is interface-typed and reassigned after init.
+var sink error // want "package-level var sink (error) is mutable shared state: written via assignment"
+
+type Config struct{ Nodes int }
+
+func Touch(err error) {
+	mu.Lock()
+	defer mu.Unlock()
+	calls++
+	sink = err
+}

@@ -1,0 +1,36 @@
+//eslurmlint:testpath eslurm/internal/globalmut_good
+
+// Package globalmut_good is compliant: constants, immutable-typed vars
+// that are never written (sentinel errors, function values, numeric
+// defaults), and function-local mutable state are all fine.
+package globalmut_good
+
+import "errors"
+
+const maxNodes = 4096
+
+// ErrDrained is the sentinel-error idiom: interface-typed, assigned once
+// at initialization, never written again.
+var ErrDrained = errors.New("globalmut_good: drained")
+
+// defaultSeed is basic-typed and read-only.
+var defaultSeed int64 = 42
+
+// clamp is a function value that is never reassigned.
+var clamp = func(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Lookup builds its table per call: mutable state stays function-local.
+func Lookup(k string) int {
+	table := map[string]int{"a": 1, "b": 2}
+	return clamp(table[k], 0, maxNodes)
+}
+
+func Seed() int64 { return defaultSeed }

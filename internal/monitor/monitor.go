@@ -51,11 +51,12 @@ func (s Severity) String() string {
 	}
 }
 
-// Indicators is the catalogue of monitored hardware indicators. The real
-// subsystem tracks 200+; we name the families and synthesize the rest.
-var Indicators = buildIndicators()
-
-func buildIndicators() []string {
+// Indicators returns the catalogue of monitored hardware indicators. The
+// real subsystem tracks 200+; we name the families and synthesize the
+// rest. A function rather than a package-level slice so the catalogue is
+// never mutable shared state (globalmut); each Subsystem caches its own
+// copy at construction.
+func Indicators() []string {
 	families := []string{
 		"voltage", "current", "temperature", "humidity",
 		"liquid-cooling", "air-cooling", "nic", "memory", "power-supply", "fan",
@@ -138,11 +139,12 @@ func (c Config) withDefaults() Config {
 
 // Subsystem is the simulated monitoring network for one cluster.
 type Subsystem struct {
-	cfg     Config
-	cluster *cluster.Cluster
-	engine  *simnet.Engine
-	rng     *rand.Rand
-	subs    []func(Alert)
+	cfg        Config
+	cluster    *cluster.Cluster
+	engine     *simnet.Engine
+	rng        *rand.Rand
+	subs       []func(Alert)
+	indicators []string
 
 	alertsEmitted int
 	falseAlerts   int
@@ -153,10 +155,11 @@ type Subsystem struct {
 // immediately.
 func New(c *cluster.Cluster, cfg Config) *Subsystem {
 	s := &Subsystem{
-		cfg:     cfg.withDefaults(),
-		cluster: c,
-		engine:  c.Engine,
-		rng:     c.Engine.Rand("monitor"),
+		cfg:        cfg.withDefaults(),
+		cluster:    c,
+		engine:     c.Engine,
+		rng:        c.Engine.Rand("monitor"),
+		indicators: Indicators(),
 	}
 	if s.cfg.FalseAlertsPerNodeDay > 0 {
 		s.startNoise()
@@ -213,7 +216,7 @@ func (s *Subsystem) emit(a Alert, spurious bool) {
 // alert fires at failAt. Experiment failure injectors call this alongside
 // Cluster.ScheduleFailure.
 func (s *Subsystem) NoticeImpendingFailure(node cluster.NodeID, failAt time.Duration) {
-	ind := Indicators[s.rng.Intn(len(Indicators))]
+	ind := s.indicators[s.rng.Intn(len(s.indicators))]
 	if s.rng.Float64() < s.cfg.DetectionProb {
 		lead := time.Duration(float64(s.cfg.LeadTime) * (0.5 + s.rng.Float64()))
 		at := failAt - lead
@@ -279,7 +282,7 @@ func (s *Subsystem) startNoise() {
 		gap := time.Duration(s.rng.ExpFloat64() / ratePerSec * float64(time.Second))
 		s.engine.After(gap, func() {
 			node := cluster.NodeID(s.rng.Intn(s.cluster.Size()))
-			ind := Indicators[s.rng.Intn(len(Indicators))]
+			ind := s.indicators[s.rng.Intn(len(s.indicators))]
 			s.emit(Alert{Node: node, Indicator: ind, Severity: SevWarning}, true)
 			next()
 		})

@@ -23,8 +23,15 @@ var (
 	// collectorCount gates the NewEngine hook: when zero (the common
 	// case — no CountEvents in flight anywhere), engine construction
 	// pays one atomic load and nothing else.
+	//
+	//eslurmlint:ignore globalmut atomic gate for the goroutine-scoped registry below; harness accounting, not simulation state, and already safe under concurrent shards
 	collectorCount atomic.Int32
-	collectors     sync.Map // goroutine id -> *collector
+	// The registry itself is keyed by goroutine id, so each entry is only
+	// ever read or replaced by the goroutine that owns it; sync.Map makes
+	// the cross-goroutine key insertions safe. This stays correct under a
+	// sharded kernel because attribution is per-goroutine by construction.
+	//eslurmlint:ignore globalmut goroutine-id-keyed registry; entries are only touched by their owning goroutine and the map itself is concurrency-safe
+	collectors sync.Map // goroutine id -> *collector
 )
 
 type collector struct {
@@ -66,10 +73,12 @@ func collect(onCreate func(*Engine), fn func()) []*Engine {
 		parent = v.(*collector)
 	}
 	c := &collector{parent: parent, onCreate: onCreate}
+	//eslurmlint:ignore engineown entry is keyed by this goroutine's id and only this goroutine reads or replaces it; the engines it records stay owned by this goroutine
 	collectors.Store(id, c)
 	collectorCount.Add(1)
 	defer func() {
 		if parent != nil {
+			//eslurmlint:ignore engineown restores this goroutine's own registry entry; same single-goroutine ownership as the Store above
 			collectors.Store(id, parent)
 		} else {
 			collectors.Delete(id)
