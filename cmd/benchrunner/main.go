@@ -15,6 +15,8 @@
 //	benchrunner -all                  # run every experiment
 //	benchrunner -all -parallel 4      # ...on exactly 4 workers
 //	benchrunner -all -json            # ...and write BENCH_quick.json
+//	benchrunner -all -jsonout f.json  # ...perf record to f.json (CI gate)
+//	benchrunner -exp fig7f -shards 4  # sharded kernel on 4 window workers
 //	benchrunner -exp fig8b -trace t.json   # Chrome trace of every engine
 //	benchrunner -exp fig8b -metrics        # dump each engine's registry
 package main
@@ -43,8 +45,10 @@ func main() {
 		csvDir   = flag.String("csv", "", "also write the Fig. 7/9 time-series CSVs into this directory")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "experiment worker-pool size (tables always print in registry order)")
 		jsonOut  = flag.Bool("json", false, "write a BENCH_<preset>.json perf record (suite stats + kernel microbench)")
+		jsonPath = flag.String("jsonout", "", "write the perf record to this path instead of BENCH_<preset>.json (implies -json); lets CI produce a fresh record without clobbering the committed baseline")
 		trace    = flag.String("trace", "", "write a Chrome trace_event JSON of every engine to this file (forces serial execution)")
 		metrics  = flag.Bool("metrics", false, "dump each engine's metrics registry to stdout (forces serial execution)")
+		shards   = flag.Int("shards", 0, "run shard-aware experiments (fig7f, fig10) on the sharded kernel with N window workers (0 = legacy single-engine path)")
 	)
 	flag.Parse()
 
@@ -62,6 +66,7 @@ func main() {
 		params = experiment.PaperParams()
 		preset = "paper"
 	}
+	params.Shards = *shards
 
 	if *csvDir != "" {
 		fmt.Fprintf(os.Stderr, "-- writing figure time series to %s\n", *csvDir)
@@ -115,9 +120,12 @@ func main() {
 	suiteWall := time.Since(suiteStart)
 	fmt.Fprintf(os.Stderr, "-- suite done in %s\n", suiteWall.Round(time.Millisecond))
 
-	if *jsonOut {
-		path := "BENCH_" + preset + ".json"
-		if err := writePerfRecord(path, preset, *parallel, suiteWall, results); err != nil {
+	if *jsonOut || *jsonPath != "" {
+		path := *jsonPath
+		if path == "" {
+			path = "BENCH_" + preset + ".json"
+		}
+		if err := writePerfRecord(path, preset, *parallel, *shards, suiteWall, results); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -221,8 +229,12 @@ func runObserved(specs []experiment.Spec, params experiment.Params, tracePath st
 // compare against the committed BENCH_<preset>.json (see the
 // "Performance" section of DESIGN.md).
 type perfRecord struct {
-	Preset       string       `json:"preset"`
+	Preset string `json:"preset"`
+	// Parallel is the experiment worker-pool size actually used (after any
+	// serial override); Shards is the -shards setting: the window worker
+	// count for shard-aware experiments, 0 for the legacy kernel.
 	Parallel     int          `json:"parallel"`
+	Shards       int          `json:"shards"`
 	GoVersion    string       `json:"go_version"`
 	GOOS         string       `json:"goos"`
 	GOARCH       string       `json:"goarch"`
@@ -235,10 +247,14 @@ type perfRecord struct {
 }
 
 type expRecord struct {
-	ID           string  `json:"id"`
-	Artifact     string  `json:"artifact"`
-	WallMS       float64 `json:"wall_ms"`
-	Events       uint64  `json:"events"`
+	ID       string  `json:"id"`
+	Artifact string  `json:"artifact"`
+	WallMS   float64 `json:"wall_ms"`
+	Events   uint64  `json:"events"`
+	// Shards is the shard worker count this experiment actually ran with:
+	// the -shards setting for shard-aware experiments, 0 for experiments
+	// that always run the single-engine path.
+	Shards       int     `json:"shards"`
 	EventsPerSec float64 `json:"events_per_sec"`
 }
 
@@ -265,10 +281,11 @@ var seedKernelBaseline = map[string][3]float64{
 	"EngineRand":           {12543, 4, 5448},
 }
 
-func writePerfRecord(path, preset string, parallel int, suiteWall time.Duration, results []experiment.Result) error {
+func writePerfRecord(path, preset string, parallel, shards int, suiteWall time.Duration, results []experiment.Result) error {
 	rec := perfRecord{
 		Preset:      preset,
 		Parallel:    parallel,
+		Shards:      shards,
 		GoVersion:   runtime.Version(),
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
@@ -277,11 +294,16 @@ func writePerfRecord(path, preset string, parallel int, suiteWall time.Duration,
 	}
 	for _, r := range results {
 		rec.TotalEvents += r.Events
+		expShards := 0
+		if experiment.ShardAware(r.Spec.ID) {
+			expShards = shards
+		}
 		rec.Experiments = append(rec.Experiments, expRecord{
 			ID:           r.Spec.ID,
 			Artifact:     r.Spec.Artifact,
 			WallMS:       float64(r.Wall.Microseconds()) / 1e3,
 			Events:       r.Events,
+			Shards:       expShards,
 			EventsPerSec: r.EventsPerSec(),
 		})
 	}

@@ -16,6 +16,13 @@
 //	chaossoak -loss 0.05 -dup 0.05    # crank the network adversities
 //	chaossoak -trace soak.json        # Chrome/Perfetto trace, one pid per seed
 //	chaossoak -metrics                # dump each seed's metrics registry
+//	chaossoak -shards 4               # sharded kernel soak on 4 workers
+//
+// With -shards N (N >= 1) the soak runs on the shard-parallel kernel
+// (chaos.ShardedSoak): one cluster partitioned by rack across engine
+// cells, executed on N worker goroutines. The report is byte-identical
+// for ANY N — only wall-clock changes. -trace and -metrics apply to the
+// single-engine soak only.
 package main
 
 import (
@@ -41,7 +48,28 @@ func main() {
 	silent := flag.Float64("silent", cfg.SilentFraction, "fraction of fail-stops hidden from monitoring")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of every seed to this file")
 	metrics := flag.Bool("metrics", false, "dump each seed's metrics registry after the report")
+	shards := flag.Int("shards", 0, "run the sharded kernel soak on N workers (0 = single-engine soak)")
 	flag.Parse()
+
+	if *shards > 0 {
+		rep := chaos.ShardedSoak(chaos.ShardedConfig{
+			Seeds:      *seeds,
+			BaseSeed:   *base,
+			Computes:   *nodes,
+			Satellites: *sats,
+			Workers:    *shards,
+			Span:       *span,
+			Broadcasts: *bcasts,
+			Bound:      *bound,
+			LossProb:   *loss,
+			DupProb:    *dup,
+		})
+		fmt.Print(rep.String())
+		if rep.Violations() > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg.Seeds = *seeds
 	cfg.BaseSeed = *base

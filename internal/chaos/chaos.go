@@ -137,7 +137,10 @@ type SeedResult struct {
 	Reallocations    int
 	Takeovers        int
 	DrainedFallbacks int
-	Violations       []string
+	// KernelDigest is the shard kernel's per-cell event-trace digest
+	// (sharded soak only; 0 on single-engine seeds).
+	KernelDigest uint64
+	Violations   []string
 	// Trace is the seed engine's span recording (nil unless Config.Trace);
 	// Metrics is its registry. Neither contributes to Report.String or
 	// Digest — the report stays byte-stable with tracing on or off.

@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// twoCell builds a 2-cell cluster: master+satellite on cell 0, computes
+// on cell 1, jitter disabled for exact-time assertions.
+func twoCell(t *testing.T, workers int, net NetConfig) *ShardedCluster {
+	t.Helper()
+	return NewSharded(ShardConfig{
+		Computes:   4,
+		Satellites: 1,
+		Net:        net,
+		Cells:      2,
+		CellOf: func(id NodeID, role Role) int {
+			if role == RoleCompute {
+				return 1
+			}
+			return 0
+		},
+		Workers: workers,
+		Seed:    7,
+	})
+}
+
+func TestShardedSendDelivers(t *testing.T) {
+	sc := twoCell(t, 1, NetConfig{Jitter: Disabled})
+	comp := sc.Computes()[0]
+	var arrived, acked time.Duration
+	sc.Send(sc.Master().ID, comp, 1000, func() {
+		arrived = sc.Engine(comp).Now()
+	}, func() {
+		acked = sc.Engine(sc.Master().ID).Now()
+	}, nil)
+	sc.Group().RunUntil(time.Second)
+
+	cfg := sc.Config()
+	wantArrive := cfg.ConnectCost + sc.TransferTime(1000)
+	if arrived != wantArrive {
+		t.Errorf("arrived at %v, want %v", arrived, wantArrive)
+	}
+	if want := wantArrive + cfg.Latency; acked != want {
+		t.Errorf("acked at %v, want %v", acked, want)
+	}
+	// Meters: one message out on the master, one in on the compute, all
+	// sockets drained.
+	if _, out := sc.Master().Meter.Messages(); out != 1 {
+		t.Errorf("master messages out = %d, want 1", out)
+	}
+	if in, _ := sc.Node(comp).Meter.Messages(); in != 1 {
+		t.Errorf("compute messages in = %d, want 1", in)
+	}
+	if s := sc.Master().Meter.Sockets(); s != 0 {
+		t.Errorf("master sockets = %d, want 0", s)
+	}
+	if s := sc.Node(comp).Meter.Sockets(); s != 0 {
+		t.Errorf("compute sockets = %d, want 0", s)
+	}
+}
+
+func TestShardedSendFailStop(t *testing.T) {
+	sc := twoCell(t, 2, NetConfig{Jitter: Disabled})
+	comp := sc.Computes()[1]
+	sc.ScheduleFail(comp, time.Millisecond, 0)
+	var failedAt time.Duration
+	delivered := false
+	// Send after the failure flip: fails at the sender with the connect
+	// timeout, exactly like the single-engine network.
+	sc.Group().Cell(0).Schedule(2*time.Millisecond, func() {
+		sc.Send(sc.Master().ID, comp, 100, func() { delivered = true }, nil, func() {
+			failedAt = sc.Engine(sc.Master().ID).Now()
+		})
+	})
+	sc.Group().RunUntil(5 * time.Second)
+	if delivered {
+		t.Fatal("message to failed node delivered")
+	}
+	if want := 2*time.Millisecond + sc.Config().ConnectTimeout; failedAt != want {
+		t.Errorf("failed at %v, want %v", failedAt, want)
+	}
+	if !sc.Failed(comp) {
+		t.Error("Failed(comp) = false after fail flip")
+	}
+}
+
+func TestShardedPartitionHeals(t *testing.T) {
+	sc := twoCell(t, 2, NetConfig{Jitter: Disabled})
+	comp := sc.Computes()[0]
+	// Sever the computes from everything for 100ms.
+	sc.SchedulePartition(sc.Computes(), time.Millisecond, 100*time.Millisecond)
+	var out [2]string
+	send := func(slot int, at time.Duration) {
+		sc.Group().Cell(0).Schedule(at, func() {
+			sc.Send(sc.Master().ID, comp, 100,
+				nil,
+				func() { out[slot] = "ack" },
+				func() { out[slot] = "fail" })
+		})
+	}
+	send(0, 2*time.Millisecond)   // inside the partition: fails
+	send(1, 200*time.Millisecond) // after heal: delivers
+	sc.Group().RunUntil(5 * time.Second)
+	if out[0] != "fail" || out[1] != "ack" {
+		t.Fatalf("outcomes = %v, want [fail ack]", out)
+	}
+}
+
+// TestShardedWorkerInvariance runs an adversarial traffic storm (loss,
+// duplication, jitter, faults, gray nodes) at several worker counts and
+// pins digest equality — the cluster-layer shard-invariance check.
+func TestShardedWorkerInvariance(t *testing.T) {
+	run := func(workers int) (uint64, uint64) {
+		sc := NewSharded(ShardConfig{
+			Computes:   12,
+			Satellites: 2,
+			Net:        NetConfig{LossProb: 0.1, DupProb: 0.1},
+			Cells:      4,
+			CellOf: func(id NodeID, role Role) int {
+				if role != RoleCompute {
+					return 0
+				}
+				return 1 + int(id)%3
+			},
+			Workers: workers,
+			Seed:    11,
+		})
+		sc.Group().EnableDigest()
+		comps := sc.Computes()
+		sc.ScheduleFail(comps[3], 5*time.Millisecond, 20*time.Millisecond)
+		sc.ScheduleGray(comps[5], 4.0, time.Millisecond, 0)
+		sc.SchedulePartition(comps[6:9], 10*time.Millisecond, 30*time.Millisecond)
+		var acked, failed int
+		master := sc.Master().ID
+		for round := 0; round < 6; round++ {
+			at := time.Duration(round+1) * 4 * time.Millisecond
+			sc.Group().Cell(0).Schedule(at, func() {
+				for _, id := range comps {
+					id := id
+					sc.Send(master, id, 512,
+						func() {
+							// The receiver answers over the same substrate.
+							sc.Send(id, master, 64, nil, nil, nil)
+						},
+						func() { acked++ },
+						func() { failed++ })
+				}
+			})
+		}
+		sc.Group().RunUntil(10 * time.Second)
+		if acked+failed == 0 {
+			t.Fatal("no sends resolved")
+		}
+		return sc.Group().Digest(), sc.Group().Processed()
+	}
+	refD, refP := run(1)
+	for _, w := range []int{2, 4} {
+		if d, p := run(w); d != refD || p != refP {
+			t.Errorf("workers=%d: digest/processed %#x/%d, want %#x/%d", w, d, p, refD, refP)
+		}
+	}
+}

@@ -1,0 +1,366 @@
+package comm
+
+import (
+	"time"
+
+	"eslurm/internal/cluster"
+	"eslurm/internal/fptree"
+)
+
+// ShardBroadcaster is the broadcast layer over a sharded cluster: the
+// star and k-ary-tree structures with the same retry and parent-adoption
+// fault tolerance as Broadcaster, rebuilt on the split-callback wire
+// contract a multi-cell simulation imposes.
+//
+// What changes versus the single-engine Broadcaster:
+//
+//   - Acknowledgement latency is modelled, not elided. A sender learns of
+//     a delivery one link latency after it happens (ShardedCluster's
+//     onAcked), and a relay's resolution reaches the origin's tracker one
+//     more latency later — so Delivered/Elapsed include the ack traffic a
+//     real RM master actually waits for.
+//   - All per-sender state (connection-slot limiters, retry chains) lives
+//     on the sender's cell; all tracker state lives on the origin's cell;
+//     instruments are per-cell registries folded by MergedMetrics. No
+//     state is shared across cells — notifications ride the shard group's
+//     deterministic cross-cell channel.
+//   - Tracing spans are not recorded (per-cell tracers cannot share one
+//     span tree); metrics cover the same counters the chaos invariants
+//     check.
+type ShardBroadcaster struct {
+	C *cluster.ShardedCluster
+	// Retries is the number of connection attempts per link (paper: 3),
+	// retried immediately.
+	Retries int
+	// SendOverhead is the sender-side dispatch cost per message.
+	SendOverhead time.Duration
+	// RelayOverhead is the receiver-side cost before a relay forwards.
+	RelayOverhead time.Duration
+	// MaxConcurrent caps simultaneous outstanding connections per sender.
+	MaxConcurrent int
+	// PerNodeListBytes is the wire overhead per participant carried in
+	// relay messages.
+	PerNodeListBytes int
+	// RecordResolved makes every Result carry delivered identities.
+	RecordResolved bool
+	// OnResolve, when non-nil, fires exactly once per (broadcast, target)
+	// on the origin's cell at the instant the target resolves.
+	OnResolve func(to cluster.NodeID, ok bool)
+
+	// Per-cell state, indexed by cell: each entry is touched only by that
+	// cell's events (or the idle coordinator).
+	limiters []map[cluster.NodeID]*limiter
+	ins      []*instruments
+}
+
+// NewShardBroadcaster returns a ShardBroadcaster with the paper's
+// defaults, its per-cell limiter maps and instruments built eagerly on
+// the calling goroutine.
+func NewShardBroadcaster(c *cluster.ShardedCluster) *ShardBroadcaster {
+	cells := c.Group().Cells()
+	b := &ShardBroadcaster{
+		C:                c,
+		Retries:          3,
+		SendOverhead:     30 * time.Microsecond,
+		RelayOverhead:    200 * time.Microsecond,
+		MaxConcurrent:    128,
+		PerNodeListBytes: 16,
+		limiters:         make([]map[cluster.NodeID]*limiter, cells),
+		ins:              make([]*instruments, cells),
+	}
+	for i := 0; i < cells; i++ {
+		b.limiters[i] = make(map[cluster.NodeID]*limiter)
+		m := c.Group().Cell(i).Metrics()
+		b.ins[i] = &instruments{
+			delivered:   m.Counter("comm.delivered"),
+			unreachable: m.Counter("comm.unreachable"),
+			messages:    m.Counter("comm.messages"),
+			retries:     m.Counter("comm.retries"),
+			outstanding: m.Gauge("comm.outstanding_sends"),
+			elapsed:     m.Histogram("comm.broadcast_elapsed_ns", broadcastElapsedBounds()),
+		}
+	}
+	return b
+}
+
+func (b *ShardBroadcaster) limiter(id cluster.NodeID) *limiter {
+	cell := b.C.CellOf(id)
+	l, ok := b.limiters[cell][id]
+	if !ok {
+		l = &limiter{max: b.MaxConcurrent}
+		b.limiters[cell][id] = l
+	}
+	return l
+}
+
+// OutstandingSends returns the in-flight delivery-chain count summed
+// across cells. Idle-only: call between RunUntil phases (the chaos
+// harness's drain invariant).
+func (b *ShardBroadcaster) OutstandingSends() int {
+	n := 0
+	for _, in := range b.ins {
+		n += int(in.outstanding.Value())
+	}
+	return n
+}
+
+// send runs one delivery chain from -> to with retries, on from's cell.
+// onArrive (may be nil) runs on to's cell at the first payload arrival
+// (duplicates are deduplicated here, so relays forward once). onResolved
+// runs on from's cell exactly once with the outcome and the chain's
+// message/retry counts.
+func (b *ShardBroadcaster) send(from, to cluster.NodeID, size int, onArrive func(), onResolved func(ok bool, msgs, retries int)) {
+	e := b.C.Engine(from)
+	in := b.ins[b.C.CellOf(from)]
+	lim := b.limiter(from)
+	in.outstanding.Add(1)
+	lim.acquire(func() {
+		attempts, msgs, retries := 0, 0, 0
+		resolved := false
+		arrived := false // touched only on to's cell
+		settle := func(ok bool) {
+			resolved = true
+			in.outstanding.Add(-1)
+			lim.release()
+			onResolved(ok, msgs, retries)
+		}
+		var attempt func()
+		attempt = func() {
+			attempts++
+			msgs++
+			in.messages.Inc()
+			if attempts > 1 {
+				retries++
+				in.retries.Inc()
+			}
+			b.C.Node(from).Meter.ChargeCPU(b.SendOverhead)
+			e.After(b.SendOverhead, func() {
+				b.C.Send(from, to, size,
+					func() { // payload arrival, to's cell
+						if arrived {
+							return
+						}
+						arrived = true
+						if onArrive != nil {
+							onArrive()
+						}
+					},
+					func() { // ack, from's cell
+						if resolved {
+							return
+						}
+						settle(true)
+					},
+					func() { // attempt failed, from's cell
+						if resolved {
+							return
+						}
+						if attempts < b.Retries {
+							attempt()
+							return
+						}
+						settle(false)
+					})
+			})
+		}
+		attempt()
+	})
+}
+
+// SendOne delivers one point-to-point message with the broadcaster's
+// retry policy, outside any broadcast. cb (may be nil) runs on from's
+// cell with true on acknowledged delivery.
+func (b *ShardBroadcaster) SendOne(from, to cluster.NodeID, size int, cb func(ok bool)) {
+	b.send(from, to, size, nil, func(ok bool, _, _ int) {
+		if cb != nil {
+			cb(ok)
+		}
+	})
+}
+
+// shardTracker finalizes one broadcast's Result on the origin's cell.
+type shardTracker struct {
+	b       *ShardBroadcaster
+	origin  cluster.NodeID
+	start   time.Duration
+	pending int
+	res     Result
+	done    func(Result)
+}
+
+func (b *ShardBroadcaster) newTracker(origin cluster.NodeID, pending int, done func(Result)) *shardTracker {
+	t := &shardTracker{b: b, origin: origin, start: b.C.Engine(origin).Now(), pending: pending, done: done}
+	if pending == 0 {
+		t.finish()
+	}
+	return t
+}
+
+func (t *shardTracker) resolve(id cluster.NodeID, ok bool, msgs, retries int) {
+	in := t.b.ins[t.b.C.CellOf(t.origin)]
+	if t.b.OnResolve != nil {
+		t.b.OnResolve(id, ok)
+	}
+	t.res.Messages += msgs
+	t.res.Retries += retries
+	if ok {
+		t.res.Delivered++
+		in.delivered.Inc()
+		if t.b.RecordResolved {
+			t.res.Resolved = append(t.res.Resolved, id)
+		}
+		if d := t.b.C.Engine(t.origin).Now() - t.start; d > t.res.DeliveredElapsed {
+			t.res.DeliveredElapsed = d
+		}
+	} else {
+		t.res.Unreachable = append(t.res.Unreachable, id)
+		in.unreachable.Inc()
+	}
+	t.pending--
+	if t.pending == 0 {
+		t.finish()
+	}
+}
+
+func (t *shardTracker) finish() {
+	t.res.Elapsed = t.b.C.Engine(t.origin).Now() - t.start
+	t.b.ins[t.b.C.CellOf(t.origin)].elapsed.Observe(int64(t.res.Elapsed))
+	if t.done != nil {
+		t.done(t.res)
+	}
+}
+
+// notifyResolve routes one link's outcome from the sender's cell to the
+// origin's tracker. Same-cell senders resolve synchronously; remote
+// senders' outcomes ride the deterministic cross-cell channel one link
+// latency later — the notification leg of the ack traffic.
+func (b *ShardBroadcaster) notifyResolve(t *shardTracker, sender, id cluster.NodeID, ok bool, msgs, retries int) {
+	senderCell, originCell := b.C.CellOf(sender), b.C.CellOf(t.origin)
+	if senderCell == originCell {
+		t.resolve(id, ok, msgs, retries)
+		return
+	}
+	at := b.C.Engine(sender).Now() + b.C.Config().Latency
+	b.C.Group().Send(senderCell, originCell, at, func() {
+		t.resolve(id, ok, msgs, retries)
+	})
+}
+
+// BroadcastStar delivers size payload bytes from origin directly to
+// every target, bounded by the origin's MaxConcurrent slots. done (may
+// be nil) runs on the origin's cell exactly once.
+func (b *ShardBroadcaster) BroadcastStar(origin cluster.NodeID, targets []cluster.NodeID, size int, done func(Result)) {
+	t := b.newTracker(origin, len(targets), done)
+	for _, id := range targets {
+		id := id
+		b.send(origin, id, size, nil, func(ok bool, msgs, retries int) {
+			b.notifyResolve(t, origin, id, ok, msgs, retries)
+		})
+	}
+}
+
+// BroadcastTree delivers over a width-w relay tree built from the target
+// list order, with parent adoption on relay failure: when a relay is
+// unreachable after retries, its sender contacts the orphaned children
+// directly. The tree is built once on the origin's cell and shared
+// read-only across cells; every mutation (tracker, limiters, meters)
+// stays on the cell that owns it. width <= 0 takes fptree.DefaultWidth.
+func (b *ShardBroadcaster) BroadcastTree(origin cluster.NodeID, targets []cluster.NodeID, size int, width int, done func(Result)) {
+	if width <= 0 {
+		width = fptree.DefaultWidth
+	}
+	tr := fptree.Build(append([]cluster.NodeID(nil), targets...), width)
+	t := b.newTracker(origin, tr.Size(), done)
+	b.dispatchTree(t, origin, tr.Roots, size)
+}
+
+// dispatchTree sends to each subtree root from `from`, on from's cell.
+func (b *ShardBroadcaster) dispatchTree(t *shardTracker, from cluster.NodeID, nodes []*fptree.Node[cluster.NodeID], size int) {
+	for _, n := range nodes {
+		n := n
+		sz := size + subtreeCount(n)*b.PerNodeListBytes
+		b.send(from, n.Value, sz,
+			func() { // payload at the relay: forward to children
+				if len(n.Children) == 0 {
+					return
+				}
+				d := b.RelayOverhead
+				if g := b.C.GrayFactorOn(n.Value, n.Value); g > 1 {
+					d = time.Duration(float64(d) * g)
+				}
+				b.C.Node(n.Value).Meter.ChargeCPU(d)
+				b.C.Engine(n.Value).After(d, func() {
+					b.dispatchTree(t, n.Value, n.Children, size)
+				})
+			},
+			func(ok bool, msgs, retries int) { // outcome at the sender
+				b.notifyResolve(t, from, n.Value, ok, msgs, retries)
+				if !ok {
+					// Parent adoption: contact the orphaned children
+					// directly from this sender.
+					b.dispatchTree(t, from, n.Children, size)
+				}
+			})
+	}
+}
+
+// BroadcastRelayed delivers through a two-level structure: origin hands
+// contiguous target groups to relay nodes (ESlurm's satellites), each
+// relay pays RelayOverhead and tree-broadcasts its group at the given
+// width. A relay that is unreachable after retries is routed around:
+// the origin broadcasts that relay's group directly (the sharded
+// simplification of core.Master's satellite reallocation). Relays are
+// conduits, not targets — Result counts target deliveries only. done
+// (may be nil) runs on the origin's cell exactly once.
+func (b *ShardBroadcaster) BroadcastRelayed(origin cluster.NodeID, relays, targets []cluster.NodeID, size, width int, done func(Result)) {
+	if len(relays) == 0 {
+		b.BroadcastTree(origin, targets, size, width, done)
+		return
+	}
+	if width <= 0 {
+		width = fptree.DefaultWidth
+	}
+	t := b.newTracker(origin, len(targets), done)
+	per := (len(targets) + len(relays) - 1) / len(relays)
+	for i, relay := range relays {
+		lo := i * per
+		if lo >= len(targets) {
+			break
+		}
+		hi := lo + per
+		if hi > len(targets) {
+			hi = len(targets)
+		}
+		relay, group := relay, targets[lo:hi]
+		tr := fptree.Build(append([]cluster.NodeID(nil), group...), width)
+		taskSz := size + len(group)*b.PerNodeListBytes
+		b.send(origin, relay, taskSz,
+			func() { // task at the relay: fan the group out
+				d := b.RelayOverhead
+				if g := b.C.GrayFactorOn(relay, relay); g > 1 {
+					d = time.Duration(float64(d) * g)
+				}
+				b.C.Node(relay).Meter.ChargeCPU(d)
+				b.C.Engine(relay).After(d, func() {
+					b.dispatchTree(t, relay, tr.Roots, size)
+				})
+			},
+			func(ok bool, msgs, retries int) { // task outcome at the origin
+				t.res.Messages += msgs
+				t.res.Retries += retries
+				if !ok {
+					// Route around the dead relay: origin takes the group.
+					b.dispatchTree(t, origin, tr.Roots, size)
+				}
+			})
+	}
+}
+
+// subtreeCount returns the node count of a subtree (message sizing).
+func subtreeCount(n *fptree.Node[cluster.NodeID]) int {
+	c := 1
+	for _, ch := range n.Children {
+		c += subtreeCount(ch)
+	}
+	return c
+}

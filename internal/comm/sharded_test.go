@@ -1,0 +1,125 @@
+package comm
+
+import (
+	"testing"
+	"time"
+
+	"eslurm/internal/cluster"
+)
+
+// shardedCluster builds a 3-cell cluster: control on cell 0, computes
+// striped across cells 1 and 2.
+func shardedCluster(computes, workers int, seed int64, net cluster.NetConfig) *cluster.ShardedCluster {
+	return cluster.NewSharded(cluster.ShardConfig{
+		Computes:   computes,
+		Satellites: 2,
+		Net:        net,
+		Cells:      3,
+		CellOf: func(id cluster.NodeID, role cluster.Role) int {
+			if role != cluster.RoleCompute {
+				return 0
+			}
+			return 1 + int(id)%2
+		},
+		Workers: workers,
+		Seed:    seed,
+	})
+}
+
+func TestShardBroadcastStar(t *testing.T) {
+	c := shardedCluster(16, 2, 5, cluster.NetConfig{})
+	b := NewShardBroadcaster(c)
+	var res Result
+	got := false
+	b.BroadcastStar(c.Master().ID, c.Computes(), 1024, func(r Result) { res, got = r, true })
+	c.Group().RunUntil(time.Minute)
+	if !got {
+		t.Fatal("broadcast never finished")
+	}
+	if res.Delivered != 16 || len(res.Unreachable) != 0 {
+		t.Fatalf("delivered=%d unreachable=%v, want 16/none", res.Delivered, res.Unreachable)
+	}
+	if res.Messages != 16 || res.Retries != 0 {
+		t.Errorf("messages=%d retries=%d, want 16/0", res.Messages, res.Retries)
+	}
+	if res.DeliveredElapsed <= 0 || res.Elapsed < res.DeliveredElapsed {
+		t.Errorf("elapsed=%v deliveredElapsed=%v inconsistent", res.Elapsed, res.DeliveredElapsed)
+	}
+	if n := b.OutstandingSends(); n != 0 {
+		t.Errorf("outstanding sends = %d after drain, want 0", n)
+	}
+}
+
+func TestShardBroadcastTreeAdoption(t *testing.T) {
+	c := shardedCluster(30, 2, 9, cluster.NetConfig{})
+	comps := c.Computes()
+	// Fail the first relay (tree root) before the broadcast: its subtree
+	// must be adopted by the origin and still delivered.
+	c.ScheduleFail(comps[0], time.Millisecond, 0)
+	b := NewShardBroadcaster(c)
+	var res Result
+	c.Group().Cell(0).Schedule(10*time.Millisecond, func() {
+		b.BroadcastTree(c.Master().ID, comps, 1024, 5, func(r Result) { res = r })
+	})
+	c.Group().RunUntil(5 * time.Minute)
+	if res.Delivered != 29 {
+		t.Fatalf("delivered=%d, want 29 (all but the failed relay)", res.Delivered)
+	}
+	if len(res.Unreachable) != 1 || res.Unreachable[0] != comps[0] {
+		t.Fatalf("unreachable=%v, want [%d]", res.Unreachable, comps[0])
+	}
+	if res.Retries == 0 {
+		t.Error("no retries recorded against the failed relay")
+	}
+	if n := b.OutstandingSends(); n != 0 {
+		t.Errorf("outstanding sends = %d after drain, want 0", n)
+	}
+}
+
+// TestShardBroadcastWorkerInvariance pins digest and Result equality
+// across worker counts under an adversarial network.
+func TestShardBroadcastWorkerInvariance(t *testing.T) {
+	run := func(workers int) (uint64, Result, string) {
+		c := shardedCluster(24, workers, 13, cluster.NetConfig{LossProb: 0.05, DupProb: 0.05})
+		c.Group().EnableDigest()
+		comps := c.Computes()
+		c.ScheduleFail(comps[7], 5*time.Millisecond, 0)
+		b := NewShardBroadcaster(c)
+		b.RecordResolved = true
+		var res Result
+		c.Group().Cell(0).Schedule(10*time.Millisecond, func() {
+			b.BroadcastTree(c.Master().ID, comps, 2048, 4, func(r Result) { res = r })
+		})
+		c.Group().RunUntil(10 * time.Minute)
+		var sb []byte
+		if err := c.Group().MergedMetrics().WriteText(&byteWriter{&sb}); err != nil {
+			t.Fatal(err)
+		}
+		return c.Group().Digest(), res, string(sb)
+	}
+	refD, refR, refM := run(1)
+	if refR.Delivered == 0 {
+		t.Fatal("reference run delivered nothing")
+	}
+	for _, w := range []int{2, 3, 8} {
+		d, r, m := run(w)
+		if d != refD {
+			t.Errorf("workers=%d digest %#x, want %#x", w, d, refD)
+		}
+		if r.Delivered != refR.Delivered || r.Messages != refR.Messages ||
+			r.Retries != refR.Retries || r.Elapsed != refR.Elapsed ||
+			r.DeliveredElapsed != refR.DeliveredElapsed {
+			t.Errorf("workers=%d result %+v, want %+v", w, r, refR)
+		}
+		if m != refM {
+			t.Errorf("workers=%d merged metrics differ from reference", w)
+		}
+	}
+}
+
+type byteWriter struct{ buf *[]byte }
+
+func (w *byteWriter) Write(p []byte) (int, error) {
+	*w.buf = append(*w.buf, p...)
+	return len(p), nil
+}

@@ -165,10 +165,13 @@ func scaleTrace(scale, jobs int) []trace.Job {
 func runFig10Cell(name string, mk func(c *cluster.Cluster) rm.RM, scale, jobs int) sched.Result {
 	penalty := responsePenalty(name, scale)
 	base := overheadLookup(mk, scale, 0.01)
-	overhead := func(n int) (time.Duration, time.Duration) {
-		l, t := base(n)
-		return l + penalty, t
-	}
+	cfg := fig10SchedConfig(name, scale, withPenalty(base, penalty))
+	return sched.Run(scaleTrace(scale, jobs), cfg)
+}
+
+// fig10SchedConfig builds the per-cell scheduler config shared by the
+// single-engine and sharded Fig. 10 drivers.
+func fig10SchedConfig(name string, scale int, overhead sched.Overhead) sched.Config {
 	cfg := sched.Config{
 		Nodes:       scale,
 		Policy:      sched.Backfill,
@@ -186,7 +189,7 @@ func runFig10Cell(name string, mk func(c *cluster.Cluster) rm.RM, scale, jobs in
 		cfg.CrashMTBF = time.Duration(float64(42*time.Hour) * 20480.0 / float64(scale))
 		cfg.CrashDowntime = 90 * time.Minute
 	}
-	return sched.Run(scaleTrace(scale, jobs), cfg)
+	return cfg
 }
 
 // Ablation reproduces the §VII-D contribution analysis at full NG-Tianhe

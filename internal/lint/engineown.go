@@ -44,10 +44,49 @@ import (
 // forwarding through fmt.Sprintf or json.Marshal would flag harmless
 // copies. This is the precision/soundness trade documented in DESIGN.md's
 // ownership contract.
+//
+// The one sanctioned crossing is the shard kernel itself: package
+// simnet's ShardGroup hands whole cells to window workers over its
+// shardCmd channels and joins them over shardDone tokens, under the
+// conservative-lookahead barrier that makes the handoff race-free (cells
+// never run concurrently with the merge). Escapes whose escaping value's
+// static type is simnet's ShardGroup, shardCmd, or shardDone (or a
+// container of one) are therefore exempt — a typed exemption, not a
+// package waiver: a raw Engine crossing a goroutine or channel in simnet
+// still fires.
 var EngineownAnalyzer = &Analyzer{
 	Name:      "engineown",
-	Doc:       "track engine-owned values (the engine, derived RNG/metrics/tracer state, engine-holding structs) across functions and flag escapes to goroutines, channels, or package-level variables",
+	Doc:       "track engine-owned values (the engine, derived RNG/metrics/tracer state, engine-holding structs) across functions and flag escapes to goroutines, channels, or package-level variables; simnet's ShardGroup/shardCmd/shardDone barrier handoff is the one typed exemption",
 	RunModule: runEngineown,
+}
+
+// sanctionedShardType reports whether t is (a container of) one of the
+// shard kernel's sanctioned barrier-handoff types: ShardGroup, shardCmd,
+// or shardDone declared in a package named simnet. These cross goroutines by
+// design — the window protocol guarantees the receiving worker has
+// exclusive access until the barrier — so escapes of exactly these types
+// are not findings. Matching is structural (package name + type name),
+// like the Engine type itself, so the lint testdata can model it.
+func sanctionedShardType(t types.Type) bool {
+	switch u := t.(type) {
+	case *types.Named:
+		obj := u.Obj()
+		if obj.Pkg() == nil || obj.Pkg().Name() != "simnet" {
+			return false
+		}
+		return obj.Name() == "ShardGroup" || obj.Name() == "shardCmd" || obj.Name() == "shardDone"
+	case *types.Pointer:
+		return sanctionedShardType(u.Elem())
+	case *types.Slice:
+		return sanctionedShardType(u.Elem())
+	case *types.Array:
+		return sanctionedShardType(u.Elem())
+	case *types.Chan:
+		return sanctionedShardType(u.Elem())
+	case *types.Map:
+		return sanctionedShardType(u.Elem())
+	}
+	return false
 }
 
 // ownChain is the ownership witness: where the value's engine affinity
@@ -713,6 +752,9 @@ func (st *ownState) checkEscapes(n ast.Node) bool {
 // recorded at the original site — classify as goroutine/channel/global by
 // the kind text).
 func (st *ownState) escapeValue(e ast.Expr, kind, recKind string, escPos token.Position, hops []taintHop) {
+	if t := st.of.pkg.Info.TypeOf(e); t != nil && sanctionedShardType(t) {
+		return
+	}
 	f := st.exprOwn(e)
 	if f.empty() {
 		return

@@ -231,6 +231,8 @@ func TestEngineown(t *testing.T) {
 	runCase(t, "engineown_bad", EngineownAnalyzer)
 	runCase(t, "engineown_good", EngineownAnalyzer)
 	runCase(t, "engineown_suppressed", EngineownAnalyzer)
+	runCase(t, "engineown_shard_silent", EngineownAnalyzer)
+	runCase(t, "engineown_shard_fire", EngineownAnalyzer)
 }
 
 // TestGlobalmut pins the global-state audit, including the internal/lint

@@ -1,0 +1,76 @@
+//eslurmlint:testpath eslurm/internal/simnet
+
+// Package simnet (test double) models the shard kernel's sanctioned
+// barrier handoff: window workers receive whole cells over shardCmd
+// channels, join over shardDone tokens, and the ShardGroup receiver
+// itself is go'd. Every escape in this file is of a sanctioned type
+// (ShardGroup, shardCmd, shardDone, or a container of one), so
+// engineown must report nothing.
+package simnet
+
+import "time"
+
+// Engine mimics the kernel surface; engineown matches it by name.
+type Engine struct {
+	now time.Duration
+}
+
+func (e *Engine) Step() bool { return false }
+
+// ShardGroup and shardCmd mirror the real kernel's handoff types.
+type ShardGroup struct {
+	cells   []*Engine
+	workers int
+}
+
+type shardCmd struct {
+	cells []*Engine
+	end   time.Duration
+}
+
+type shardDone struct{}
+
+// shardPool mirrors the real kernel's persistent pool: engine-holding
+// struct whose channels are all of sanctioned types.
+type shardPool struct {
+	cmds    []chan shardCmd
+	done    chan shardDone
+	stripes [][]*Engine
+}
+
+// runWindow fans the cells out to workers and waits at the barrier —
+// the sanctioned crossing the exemption exists for.
+func (g *ShardGroup) runWindow(end time.Duration) {
+	p := &shardPool{
+		cmds: make([]chan shardCmd, g.workers),
+		done: make(chan shardDone, g.workers),
+	}
+	cmds, done := p.cmds, p.done
+	for w := 0; w < g.workers; w++ {
+		for i := w; i < len(g.cells); i += g.workers {
+			p.stripes = append(p.stripes, nil)
+		}
+		cmds[w] = make(chan shardCmd, 1)
+		go g.worker(cmds[w], done)
+	}
+	for w := 0; w < g.workers; w++ {
+		var mine []*Engine
+		for i := w; i < len(g.cells); i += g.workers {
+			mine = append(mine, g.cells[i])
+		}
+		cmds[w] <- shardCmd{cells: mine, end: end}
+	}
+	for w := 0; w < g.workers; w++ {
+		<-done
+	}
+}
+
+func (g *ShardGroup) worker(cmds chan shardCmd, done chan<- shardDone) {
+	for cmd := range cmds {
+		for _, c := range cmd.cells {
+			for c.Step() {
+			}
+		}
+		done <- shardDone{}
+	}
+}
