@@ -17,12 +17,22 @@
 //	chaossoak -trace soak.json        # Chrome/Perfetto trace, one pid per seed
 //	chaossoak -metrics                # dump each seed's metrics registry
 //	chaossoak -shards 4               # sharded kernel soak on 4 workers
+//	chaossoak -reconcile              # chaos campaign under the reconciler
+//	chaossoak -reconcile -spec s.json # custom spec schedule for the soak
 //
 // With -shards N (N >= 1) the soak runs on the shard-parallel kernel
 // (chaos.ShardedSoak): one cluster partitioned by rack across engine
 // cells, executed on N worker goroutines. The report is byte-identical
 // for ANY N — only wall-clock changes. -trace and -metrics apply to the
 // single-engine soak only.
+//
+// With -reconcile the soak overlays the full fault campaign on a
+// reconciler driving a timed spec schedule (chaos.ReconcileSoak) and
+// additionally asserts the convergence contract: after the last fault
+// heals, every seed reaches spec within the round budget, with no task
+// dropped during graceful drains. -spec replaces the built-in schedule
+// with a JSON spec/schedule file; -shards N fans independent seeds out
+// over N workers — the report is byte-identical for any N.
 package main
 
 import (
@@ -32,6 +42,7 @@ import (
 
 	"eslurm/internal/chaos"
 	"eslurm/internal/obs"
+	"eslurm/internal/reconcile"
 )
 
 func main() {
@@ -49,7 +60,60 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of every seed to this file")
 	metrics := flag.Bool("metrics", false, "dump each seed's metrics registry after the report")
 	shards := flag.Int("shards", 0, "run the sharded kernel soak on N workers (0 = single-engine soak)")
+	reconcileMode := flag.Bool("reconcile", false, "overlay the campaign on a reconciler and assert convergence (chaos.ReconcileSoak)")
+	target := flag.Int("target", 0, "reconcile mode: initial in-service satellite target (0 = default)")
+	specPath := flag.String("spec", "", "reconcile mode: spec/schedule JSON replacing the built-in schedule")
 	flag.Parse()
+
+	if *reconcileMode {
+		// The reconcile soak has its own calibrated defaults (more
+		// satellites, a shorter span); only flags the user actually set
+		// override them.
+		rcfg := chaos.ReconcileConfig{Target: *target, Workers: *shards}
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "seeds":
+				rcfg.Seeds = *seeds
+			case "seed":
+				rcfg.BaseSeed = *base
+			case "nodes":
+				rcfg.Computes = *nodes
+			case "sats":
+				rcfg.Satellites = *sats
+			case "span":
+				rcfg.Span = *span
+			case "broadcasts":
+				rcfg.Broadcasts = *bcasts
+			case "bound":
+				rcfg.Bound = *bound
+			case "loss":
+				rcfg.LossProb = *loss
+			case "dup":
+				rcfg.DupProb = *dup
+			}
+		})
+		if *specPath != "" {
+			f, err := os.Open(*specPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "chaossoak:", err)
+				os.Exit(2)
+			}
+			sched, err := reconcile.ParseSchedule(f)
+			f.Close()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "chaossoak: %s: %v\n", *specPath, err)
+				os.Exit(2)
+			}
+			rcfg.Initial = sched.Initial
+			rcfg.Mutations = sched.Mutations
+		}
+		rep := chaos.ReconcileSoak(rcfg)
+		fmt.Print(rep.String())
+		if rep.Violations() > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *shards > 0 {
 		rep := chaos.ShardedSoak(chaos.ShardedConfig{

@@ -8,6 +8,14 @@
 //	eslurmctl -nodes 4096 -satellites 3 -jobs 2000 -hours 6
 //	eslurmctl -rm slurm -nodes 4096 -jobs 2000
 //	eslurmctl -rm eslurm -failures 0.02 -verbose
+//	eslurmctl -spec spec.json -satellites 6
+//
+// With -spec the ESlurm master runs under the reconciler: the JSON file's
+// initial spec (satellite target, cordon list, ESlurm parameters) is
+// enforced every reconcile round and its schedule of timed mutations is
+// replayed in simulated time; the run ends with a reconcile summary.
+// An eslurm.conf with SatelliteTarget set wires the reconciler the same
+// way without a schedule.
 package main
 
 import (
@@ -24,6 +32,7 @@ import (
 	"eslurm/internal/experiment"
 	"eslurm/internal/monitor"
 	"eslurm/internal/predict"
+	"eslurm/internal/reconcile"
 	"eslurm/internal/rm"
 	"eslurm/internal/sched"
 	"eslurm/internal/simnet"
@@ -40,12 +49,14 @@ func main() {
 		hours      = flag.Int("hours", 4, "virtual hours of RM runtime observation")
 		failures   = flag.Float64("failures", 0.01, "fraction of nodes failing during the run")
 		seed       = flag.Int64("seed", 1, "simulation seed")
+		specPath   = flag.String("spec", "", "reconcile spec/schedule JSON; runs the ESlurm master under the reconciler")
 		verbose    = flag.Bool("verbose", false, "print per-phase detail")
 	)
 	flag.Parse()
 
 	coreCfg := core.DefaultConfig()
 	fwCfg := estimate.FrameworkConfig{}
+	var parsedConf *config.Config
 	if *confPath != "" {
 		f, err := os.Open(*confPath)
 		if err != nil {
@@ -66,6 +77,7 @@ func main() {
 		}
 		coreCfg = parsed.CoreConfig()
 		fwCfg = parsed.FrameworkConfig()
+		parsedConf = parsed
 		fmt.Printf("loaded %s: cluster %q, %d computes, %d satellites\n",
 			*confPath, parsed.ClusterName, *nodes, *satellites)
 	}
@@ -101,6 +113,45 @@ func main() {
 		os.Exit(1)
 	}
 	r.Start()
+
+	// Under -spec (or an eslurm.conf with SatelliteTarget) the ESlurm
+	// master runs beneath the reconciler, which enforces the desired
+	// satellite census and replays the schedule's mutations in simulated
+	// time.
+	var rec *reconcile.Reconciler
+	if es, ok := r.(*rm.ESlurm); ok {
+		switch {
+		case *specPath != "":
+			f, err := os.Open(*specPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			sched2, err := reconcile.ParseSchedule(f)
+			f.Close()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "eslurmctl: %s: %v\n", *specPath, err)
+				os.Exit(1)
+			}
+			rec = reconcile.New(es.M, sched2.Initial, reconcile.Config{})
+			rec.Start()
+			rec.ScheduleMutations(sched2.Mutations)
+			fmt.Printf("reconciler: initial target %d satellites, %d scheduled mutations\n",
+				rec.Spec().Satellites, len(sched2.Mutations))
+		case parsedConf != nil && parsedConf.SatelliteTarget > 0:
+			spec, opts, err := reconcile.FromConfig(parsedConf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "eslurmctl: %s: %v\n", *confPath, err)
+				os.Exit(1)
+			}
+			rec = reconcile.New(es.M, spec, opts)
+			rec.Start()
+			fmt.Printf("reconciler: target %d satellites from %s\n", spec.Satellites, *confPath)
+		}
+	} else if *specPath != "" {
+		fmt.Fprintf(os.Stderr, "eslurmctl: -spec requires -rm eslurm (got %q)\n", *rmName)
+		os.Exit(1)
+	}
 
 	// Failure injection, announced to the monitoring network.
 	span := time.Duration(*hours) * time.Hour
@@ -149,6 +200,9 @@ func main() {
 		}
 	}
 
+	if rec != nil {
+		rec.Stop()
+	}
 	r.Stop()
 	e.RunUntil(span + 30*time.Minute)
 
@@ -171,6 +225,13 @@ func main() {
 					sm.CPUTime().Round(time.Millisecond), float64(sm.RSS())/(1<<20))
 			}
 		}
+	}
+
+	if rec != nil {
+		st := rec.Status()
+		fmt.Printf("reconcile: rounds=%d actions=%d promotes=%d drains=%d (forced=%d) takeovers=%d breakers=%d specs=%d converged=%v\n",
+			st.Rounds, st.Actions, st.Promotes, st.Drains, st.DrainsForced,
+			st.Takeovers, st.BreakerOpens, st.SpecUpdates, st.Converged)
 	}
 
 	if demoed {

@@ -267,7 +267,7 @@ func RunSeed(cfg Config, seed int64) SeedResult {
 				sr.Delivered += r.Delivered
 				sr.Unreachable += len(r.Unreachable)
 				sr.Retries += r.Retries
-				checkPartition(&sr, seed, i, targets, r, violate)
+				checkPartition(seed, i, targets, r, violate)
 				if d := e.Now() - start; d > cfg.Bound {
 					violate("seed %d: broadcast %d resolved in %v > bound %v", seed, i, d, cfg.Bound)
 				}
@@ -311,7 +311,7 @@ func RunSeed(cfg Config, seed int64) SeedResult {
 // Resolved ∪ Unreachable is an exact partition of the target list — every
 // target exactly once, no duplicates, no strangers — and the counters
 // agree with the identities.
-func checkPartition(sr *SeedResult, seed int64, bc int, targets []cluster.NodeID, r comm.Result, violate func(string, ...interface{})) {
+func checkPartition(seed int64, bc int, targets []cluster.NodeID, r comm.Result, violate func(string, ...interface{})) {
 	if r.Delivered+len(r.Unreachable) != len(targets) {
 		violate("seed %d: broadcast %d: delivered %d + unreachable %d != targets %d",
 			seed, bc, r.Delivered, len(r.Unreachable), len(targets))

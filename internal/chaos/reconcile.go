@@ -1,0 +1,393 @@
+package chaos
+
+// The reconcile soak: the full chaos campaign overlaid on a reconciler
+// driving the cluster toward a timed spec schedule (scale up mid-run,
+// then a rolling cordon replacement). On top of the per-broadcast
+// invariants 1–5 it asserts the convergence contract: after the last
+// fault heals, the cluster reaches spec within a bounded number of
+// reconcile rounds, and no broadcast task is dropped during graceful
+// drains (the exact-partition check holds for every broadcast that
+// overlaps one). Reports are byte-stable; Workers only parallelizes
+// independent seeds (results land by index), so the report and digest
+// are identical for any worker count.
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"sync"
+	"time"
+
+	"eslurm/internal/cluster"
+	"eslurm/internal/comm"
+	"eslurm/internal/core"
+	"eslurm/internal/faults"
+	"eslurm/internal/monitor"
+	"eslurm/internal/reconcile"
+	"eslurm/internal/simnet"
+)
+
+// ReconcileConfig parameterizes a reconcile soak. The zero value is
+// runnable.
+type ReconcileConfig struct {
+	// Seeds starting at BaseSeed (defaults 4 and 1).
+	Seeds    int
+	BaseSeed int64
+	// Computes and Satellites size the cluster; Satellites is the total
+	// satellite-node count including parked standbys (defaults 256 and 6).
+	Computes   int
+	Satellites int
+	// Target is the initial spec's desired in-service satellite count
+	// (default 4, leaving standbys for the reconciler to promote).
+	Target int
+	// Span is the driven portion of virtual time (default 12 minutes);
+	// faults and broadcasts land inside it.
+	Span time.Duration
+	// Broadcasts spread evenly over Span (default 12); Bound is the
+	// per-broadcast resolution bound (default 8 minutes).
+	Broadcasts int
+	Bound      time.Duration
+	// Interval is the reconcile-round cadence (default 30s);
+	// DrainDeadline bounds graceful drains (default 90s); FaultTimeout
+	// overrides the pool's FAULT→DOWN demotion timeout (default 2
+	// minutes, short enough that campaign kills exercise the revival
+	// path).
+	Interval      time.Duration
+	DrainDeadline time.Duration
+	FaultTimeout  time.Duration
+	// RoundBudget is the convergence bound: rounds allowed after the last
+	// fault heals (default 30).
+	RoundBudget int
+	// Spec is the campaign mix (default: 2 bursts, 2 flaps, 2 grays, 1
+	// partition, 2 satellite kills). Horizon defaults to Span.
+	Spec faults.ChaosSpec
+	// LossProb and DupProb are network fault rates (default 0.01 each).
+	LossProb, DupProb float64
+	// Initial overrides the starting spec (zero Satellites selects
+	// {Target, min 1, max Satellites}); Mutations overrides the timed
+	// spec schedule (nil selects scale-up at Span/3 and a rolling cordon
+	// of satellite 2 at 2·Span/3).
+	Initial   reconcile.Spec
+	Mutations []reconcile.Mutation
+	// Workers parallelizes seeds (default 1). The report is byte-identical
+	// for any value: each seed runs on its own engine and results land by
+	// seed index.
+	Workers int
+}
+
+func (c ReconcileConfig) withDefaults() ReconcileConfig {
+	if c.Seeds <= 0 {
+		c.Seeds = 4
+	}
+	if c.BaseSeed == 0 {
+		c.BaseSeed = 1
+	}
+	if c.Computes <= 0 {
+		c.Computes = 256
+	}
+	if c.Satellites <= 0 {
+		c.Satellites = 6
+	}
+	if c.Target <= 0 {
+		c.Target = 4
+	}
+	if c.Target > c.Satellites {
+		c.Target = c.Satellites
+	}
+	if c.Span <= 0 {
+		c.Span = 12 * time.Minute
+	}
+	if c.Broadcasts <= 0 {
+		c.Broadcasts = 12
+	}
+	if c.Bound <= 0 {
+		c.Bound = 8 * time.Minute
+	}
+	if c.Interval <= 0 {
+		c.Interval = 30 * time.Second
+	}
+	if c.DrainDeadline <= 0 {
+		c.DrainDeadline = 90 * time.Second
+	}
+	if c.FaultTimeout <= 0 {
+		c.FaultTimeout = 2 * time.Minute
+	}
+	if c.RoundBudget <= 0 {
+		c.RoundBudget = 30
+	}
+	zero := faults.ChaosSpec{}
+	if c.Spec == zero {
+		c.Spec = faults.ChaosSpec{Bursts: 2, Flaps: 2, Grays: 2, Partitions: 1, SatelliteKills: 2}
+	}
+	if c.Spec.Horizon <= 0 {
+		c.Spec.Horizon = c.Span
+	}
+	if c.LossProb == 0 && c.DupProb == 0 {
+		c.LossProb, c.DupProb = 0.01, 0.01
+	}
+	if c.Initial.Satellites == 0 {
+		c.Initial = reconcile.Spec{Satellites: c.Target, MinSatellites: 1, MaxSatellites: c.Satellites}
+	}
+	if c.Mutations == nil {
+		c.Mutations = []reconcile.Mutation{
+			// Scale up by one satellite a third of the way in...
+			{At: reconcile.Duration(c.Span / 3), Spec: reconcile.Spec{
+				Satellites: c.Target + 1, MinSatellites: 1, MaxSatellites: c.Satellites}},
+			// ...then a rolling replacement: cordon satellite 2, back at
+			// the original target.
+			{At: reconcile.Duration(2 * c.Span / 3), Spec: reconcile.Spec{
+				Satellites: c.Target, MinSatellites: 1, MaxSatellites: c.Satellites,
+				Cordoned: []cluster.NodeID{2}}},
+		}
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	return c
+}
+
+// ReconcileSeedResult is one seed's outcome. All fields are plain data —
+// nothing engine-bound crosses the worker-pool boundary.
+type ReconcileSeedResult struct {
+	Seed           int64
+	Events         uint64
+	CampaignEvents int
+	Broadcasts     int
+	Delivered      int
+	Unreachable    int
+	Retries        int
+	Reallocations  int
+	// MasterTakeovers counts the core takeover fallback (direct broadcast
+	// after ReallocLimit); RollingTakeovers counts reconciler-paired
+	// drain+promote replacements.
+	MasterTakeovers  int
+	Rounds           int
+	RoundsAfterHeal  int
+	Promotes         int
+	Drains           int
+	DrainsForced     int
+	RollingTakeovers int
+	BreakerOpens     int
+	SpecUpdates      int
+	Converged        bool
+	Violations       []string
+}
+
+// ReconcileReport is a full reconcile soak's outcome; String and Digest
+// are byte-stable for a given config, at any Workers value.
+type ReconcileReport struct {
+	Config ReconcileConfig
+	Seeds  []ReconcileSeedResult
+}
+
+// Violations returns the total violation count across seeds.
+func (r *ReconcileReport) Violations() int {
+	n := 0
+	for _, s := range r.Seeds {
+		n += len(s.Violations)
+	}
+	return n
+}
+
+// String renders the digest-stable report.
+func (r *ReconcileReport) String() string {
+	var sb strings.Builder
+	c := r.Config
+	fmt.Fprintf(&sb, "reconcile soak: seeds=%d base=%d computes=%d satellites=%d target=%d span=%v broadcasts=%d bound=%v interval=%v drain=%v fault_timeout=%v budget=%d\n",
+		c.Seeds, c.BaseSeed, c.Computes, c.Satellites, c.Target, c.Span, c.Broadcasts, c.Bound,
+		c.Interval, c.DrainDeadline, c.FaultTimeout, c.RoundBudget)
+	fmt.Fprintf(&sb, "campaign: bursts=%d flaps=%d grays=%d partitions=%d satkills=%d loss=%.3f dup=%.3f mutations=%d\n",
+		c.Spec.Bursts, c.Spec.Flaps, c.Spec.Grays, c.Spec.Partitions, c.Spec.SatelliteKills,
+		c.LossProb, c.DupProb, len(c.Mutations))
+	for _, s := range r.Seeds {
+		fmt.Fprintf(&sb, "seed %d: events=%d campaign=%d broadcasts=%d delivered=%d unreachable=%d retries=%d reallocs=%d mtakeovers=%d rounds=%d heal_rounds=%d promotes=%d drains=%d forced=%d rtakeovers=%d breakers=%d specs=%d converged=%t violations=%d\n",
+			s.Seed, s.Events, s.CampaignEvents, s.Broadcasts, s.Delivered, s.Unreachable,
+			s.Retries, s.Reallocations, s.MasterTakeovers, s.Rounds, s.RoundsAfterHeal,
+			s.Promotes, s.Drains, s.DrainsForced, s.RollingTakeovers, s.BreakerOpens,
+			s.SpecUpdates, s.Converged, len(s.Violations))
+		for _, v := range s.Violations {
+			fmt.Fprintf(&sb, "  VIOLATION: %s\n", v)
+		}
+	}
+	fmt.Fprintf(&sb, "total: violations=%d digest=%s\n", r.Violations(), r.Digest())
+	return sb.String()
+}
+
+// Digest returns an FNV-64a digest over the per-seed results.
+func (r *ReconcileReport) Digest() string {
+	h := fnv.New64a()
+	for _, s := range r.Seeds {
+		fmt.Fprintf(h, "%d:%d:%d:%d:%d:%d:%d:%d:%d:%d:%d:%d:%d:%d:%d:%d:%d:%t;",
+			s.Seed, s.Events, s.CampaignEvents, s.Broadcasts, s.Delivered, s.Unreachable,
+			s.Retries, s.Reallocations, s.MasterTakeovers, s.Rounds, s.RoundsAfterHeal,
+			s.Promotes, s.Drains, s.DrainsForced, s.RollingTakeovers, s.BreakerOpens,
+			s.SpecUpdates, s.Converged)
+		for _, v := range s.Violations {
+			fmt.Fprintf(h, "%s;", v)
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// ReconcileSoak runs the full reconcile soak. Workers > 1 fans seeds out
+// over a pool of goroutines; every seed is an independent engine and
+// results are written by seed index, so the report is byte-identical for
+// any worker count.
+func ReconcileSoak(cfg ReconcileConfig) *ReconcileReport {
+	cfg = cfg.withDefaults()
+	rep := &ReconcileReport{Config: cfg, Seeds: make([]ReconcileSeedResult, cfg.Seeds)}
+	if cfg.Workers == 1 {
+		for i := 0; i < cfg.Seeds; i++ {
+			rep.Seeds[i] = RunReconcileSeed(cfg, cfg.BaseSeed+int64(i))
+		}
+		return rep
+	}
+	work := make(chan int, cfg.Seeds)
+	for i := 0; i < cfg.Seeds; i++ {
+		work <- i
+	}
+	close(work)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		//eslurmlint:ignore gosim worker pool over independent engines; no simulated state crosses goroutines
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				rep.Seeds[i] = RunReconcileSeed(cfg, cfg.BaseSeed+int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	return rep
+}
+
+// RunReconcileSeed soaks one seed: stack + reconciler + spec schedule +
+// campaign + broadcasts, then drives past the last heal and asserts the
+// convergence contract.
+func RunReconcileSeed(cfg ReconcileConfig, seed int64) ReconcileSeedResult {
+	cfg = cfg.withDefaults()
+	sr := ReconcileSeedResult{Seed: seed}
+	violate := func(format string, args ...interface{}) {
+		if len(sr.Violations) < 64 {
+			sr.Violations = append(sr.Violations, fmt.Sprintf(format, args...))
+		}
+	}
+
+	e := simnet.NewEngine(seed)
+	c := cluster.New(e, cluster.Config{
+		Computes:   cfg.Computes,
+		Satellites: cfg.Satellites,
+		Net:        cluster.NetConfig{LossProb: cfg.LossProb, DupProb: cfg.DupProb},
+	})
+	mon := monitor.New(c, monitor.Config{})
+	m := core.NewMaster(c, core.DefaultConfig(), nil)
+	m.B.RecordResolved = true
+	m.B.Retry = &comm.RetryPolicy{
+		MaxAttempts: 4,
+		Backoff:     50 * time.Millisecond,
+		MaxBackoff:  2 * time.Second,
+		JitterFrac:  0.5,
+		Deadline:    30 * time.Second,
+	}
+	m.Pool.FaultTimeout = cfg.FaultTimeout
+	mon.ObservePool(m.Pool)
+
+	// Invariant 2: no delivery lands on a down node.
+	m.B.OnResolve = func(to cluster.NodeID, ok bool) {
+		if ok && c.Node(to).Failed() {
+			violate("seed %d: delivered to down node %d at %v", seed, to, e.Now())
+		}
+	}
+
+	m.Start()
+
+	mm := m.Meter()
+	baseVMem, baseRSS, baseSockets := mm.VMem(), mm.RSS(), mm.Sockets()
+
+	rec := reconcile.New(m, cfg.Initial, reconcile.Config{
+		Interval:      cfg.Interval,
+		DrainDeadline: cfg.DrainDeadline,
+	})
+	rec.Start()
+	rec.ScheduleMutations(cfg.Mutations)
+
+	cp := faults.New(c, mon, 0)
+	cp.Generate(cfg.Spec)
+	sr.CampaignEvents = len(cp.Events)
+
+	targets := c.Computes()
+	for i := 0; i < cfg.Broadcasts; i++ {
+		i := i
+		at := cfg.Span * time.Duration(i+1) / time.Duration(cfg.Broadcasts+1)
+		e.Schedule(at, func() {
+			start := e.Now()
+			m.Broadcast(targets, 4096, func(r comm.Result) {
+				sr.Broadcasts++
+				sr.Delivered += r.Delivered
+				sr.Unreachable += len(r.Unreachable)
+				sr.Retries += r.Retries
+				checkPartition(seed, i, targets, r, violate)
+				if d := e.Now() - start; d > cfg.Bound {
+					violate("seed %d: broadcast %d resolved in %v > bound %v", seed, i, d, cfg.Bound)
+				}
+			})
+		})
+	}
+
+	// Drive the adversarial span, then past the last possible heal (flap
+	// cycles can stretch to a few MaxDown past the horizon).
+	e.RunUntil(cfg.Span)
+	healBy := cfg.Span + 4*cfg.Spec.MaxDown + time.Minute
+	e.RunUntil(healBy)
+
+	// Convergence contract: from the first round after the last heal, the
+	// reconciler must reach spec within RoundBudget rounds.
+	roundsAtHeal := rec.Rounds()
+	for i := 0; i < cfg.RoundBudget && !rec.Converged(); i++ {
+		e.RunUntil(e.Now() + cfg.Interval)
+	}
+	st := rec.Status()
+	sr.Converged = st.Converged
+	sr.RoundsAfterHeal = st.Rounds - roundsAtHeal
+	if !st.Converged {
+		violate("seed %d: not converged %d rounds after last heal (spec %+v)",
+			seed, sr.RoundsAfterHeal, rec.Spec())
+	}
+
+	rec.Stop()
+	m.Stop()
+	e.Run() // drain retries, watchdogs, pending drains, recoveries
+
+	ms := m.Stats()
+	sr.Reallocations = ms.Reallocations
+	sr.MasterTakeovers = ms.MasterTakeovers
+	st = rec.Status()
+	sr.Rounds = st.Rounds
+	sr.Promotes = st.Promotes
+	sr.Drains = st.Drains
+	sr.DrainsForced = st.DrainsForced
+	sr.RollingTakeovers = st.Takeovers
+	sr.BreakerOpens = st.BreakerOpens
+	sr.SpecUpdates = st.SpecUpdates
+	sr.Events = e.Processed()
+
+	// No stalls: every driven broadcast resolved — with the exact-partition
+	// check above, this is the "no task dropped during drain" guarantee.
+	if sr.Broadcasts != cfg.Broadcasts {
+		violate("seed %d: stalled: %d/%d broadcasts resolved after drain", seed, sr.Broadcasts, cfg.Broadcasts)
+	}
+	if n := m.B.OutstandingSends(); n != 0 {
+		violate("seed %d: %d delivery chains still outstanding after drain", seed, n)
+	}
+	if v := mm.VMem(); v != baseVMem {
+		violate("seed %d: master vmem %d != baseline %d after teardown", seed, v, baseVMem)
+	}
+	if v := mm.RSS(); v != baseRSS {
+		violate("seed %d: master rss %d != baseline %d after teardown", seed, v, baseRSS)
+	}
+	if v := mm.Sockets(); v != baseSockets {
+		violate("seed %d: master sockets %d != baseline %d after teardown", seed, v, baseSockets)
+	}
+	return sr
+}

@@ -253,7 +253,7 @@ func RunShardedSeed(cfg ShardedConfig, seed int64) SeedResult {
 				sr.Delivered += r.Delivered
 				sr.Unreachable += len(r.Unreachable)
 				sr.Retries += r.Retries
-				checkPartition(&sr, seed, i, comps, r, violate)
+				checkPartition(seed, i, comps, r, violate)
 				if d := e0.Now() - start; d > cfg.Bound {
 					violate("seed %d: broadcast %d resolved in %v > bound %v", seed, i, d, cfg.Bound)
 				}

@@ -167,6 +167,77 @@ func TestPartitionSeversAndHealsSends(t *testing.T) {
 	}
 }
 
+// TestGrayOnSeveredMemberAndHealAll pins the fault-model interplay the
+// reconciler leans on: marking a partition-severed member gray keeps the
+// boundary severed (gray slows, partition cuts — the stronger fault
+// wins), gray still slows intra-partition traffic, and HealAll restores
+// the boundary while leaving the gray degradation in place until it is
+// cleared independently.
+func TestGrayOnSeveredMemberAndHealAll(t *testing.T) {
+	c := newNetCluster(t, 4, NetConfig{Jitter: Disabled})
+	in1, in2, out := c.Computes()[0], c.Computes()[1], c.Computes()[2]
+	// Baseline intra-pair latency before any fault.
+	var healthy time.Duration
+	start := c.Engine.Now()
+	c.Net.Send(in1, in2, 100000, func() { healthy = c.Engine.Now() - start }, func() { t.Error("baseline send failed") })
+	c.Engine.Run()
+
+	c.Net.Partition([]NodeID{in1, in2}, time.Hour)
+	c.Net.SetGray(in2, 8)
+	if !c.Net.Severed(in1, out) || !c.Net.Severed(out, in2) {
+		t.Fatal("partition boundary not severed")
+	}
+	if c.Net.GrayFactor(in2) != 8 || c.Net.GrayCount() != 1 {
+		t.Fatalf("gray state: factor=%v count=%d, want 8 and 1", c.Net.GrayFactor(in2), c.Net.GrayCount())
+	}
+
+	// Cross-boundary send to the gray member still fails — severed wins.
+	crossFailed := false
+	c.Net.Send(out, in2, 100, func() { t.Error("cross-partition send delivered to gray member") }, func() { crossFailed = true })
+	// Intra-partition send to the gray member is delivered, but slowed.
+	var grayed time.Duration
+	start = c.Engine.Now()
+	c.Net.Send(in1, in2, 100000, func() { grayed = c.Engine.Now() - start }, func() { t.Error("intra-partition send to gray member failed") })
+	c.Engine.RunUntil(c.Engine.Now() + 30*time.Second)
+	if !crossFailed {
+		t.Fatal("severed boundary did not fail the send")
+	}
+	if grayed <= healthy {
+		t.Fatalf("gray member not slowed inside the partition: %v <= healthy %v", grayed, healthy)
+	}
+
+	// HealAll restores the boundary immediately (the 1h timer becomes a
+	// no-op), but the gray mark survives until cleared.
+	c.Net.HealAll()
+	if c.Net.PartitionCount() != 0 {
+		t.Fatalf("PartitionCount = %d after HealAll", c.Net.PartitionCount())
+	}
+	if c.Net.Severed(out, in2) {
+		t.Fatal("boundary still severed after HealAll")
+	}
+	var healedCross time.Duration
+	start = c.Engine.Now()
+	c.Net.Send(out, in2, 100000, func() { healedCross = c.Engine.Now() - start }, func() { t.Error("send failed after HealAll") })
+	c.Engine.Run()
+	if healedCross <= 0 {
+		t.Fatal("no delivery after HealAll")
+	}
+	if c.Net.GrayFactor(in2) != 8 {
+		t.Fatal("HealAll must not clear gray state")
+	}
+	c.Net.ClearGray(in2)
+	if c.Net.GrayCount() != 0 {
+		t.Fatal("ClearGray left gray state behind")
+	}
+	var restored time.Duration
+	start = c.Engine.Now()
+	c.Net.Send(in1, in2, 100000, func() { restored = c.Engine.Now() - start }, func() { t.Error("send failed after ClearGray") })
+	c.Engine.Run()
+	if restored >= grayed {
+		t.Fatalf("latency not restored after ClearGray: %v >= grayed %v", restored, grayed)
+	}
+}
+
 // TestDisabledFeaturesDrawNoRandomness: enabling loss/dup must not perturb
 // runs that have them off — the adversarial streams are lazily derived, so
 // a zero-probability config's trace is byte-identical to the seed's

@@ -323,7 +323,22 @@ func (b *Broadcaster) send(from, to cluster.NodeID, size int, res *Result, paren
 						}
 						if attempts < b.maxAttempts() && !b.pastDeadline(chainStart) {
 							if d := b.retryDelay(attempts + 1); d > 0 {
-								e.After(d, attempt)
+								// Re-check the deadline when the backoff
+								// timer fires: a Deadline expiring
+								// mid-backoff must resolve the chain
+								// (exactly once, via the resolved guard)
+								// rather than launch an attempt past the
+								// documented budget.
+								e.After(d, func() {
+									if resolved {
+										return
+									}
+									if b.pastDeadline(chainStart) {
+										settle(false)
+										return
+									}
+									attempt()
+								})
 							} else {
 								attempt()
 							}

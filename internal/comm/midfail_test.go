@@ -257,3 +257,43 @@ func TestRetryPolicyBackoffAndDeadline(t *testing.T) {
 		t.Errorf("retry counts differ across same-seed runs: %d vs %d", a, b2)
 	}
 }
+
+// TestRetryDeadlineExpiresMidBackoff pins the deadline-vs-backoff
+// interaction: when the Deadline elapses while the chain is parked in a
+// backoff wait, the wake-up must resolve the send exactly once as failed —
+// no attempt may launch past the deadline, and no late duplicate
+// resolution may follow.
+func TestRetryDeadlineExpiresMidBackoff(t *testing.T) {
+	e := simnet.NewEngine(8)
+	c := cluster.New(e, cluster.Config{Computes: 4, Satellites: 1})
+	dead := c.Computes()[0]
+	c.Fail(dead)
+	b := NewBroadcaster(c)
+	// First attempt fails around the connect timeout (~1s); the 10s
+	// backoff then straddles the 3s deadline, so the deadline expires
+	// mid-backoff with 98 attempts still in budget.
+	b.Retry = &RetryPolicy{MaxAttempts: 100, Backoff: 10 * time.Second, Deadline: 3 * time.Second}
+	var resolutions []bool
+	var resolvedAt time.Duration
+	b.Send(c.Satellites()[0], dead, 64, func(ok bool) {
+		resolutions = append(resolutions, ok)
+		resolvedAt = e.Now()
+	})
+	e.Run()
+	if len(resolutions) != 1 || resolutions[0] {
+		t.Fatalf("resolutions = %v, want exactly one failed resolution", resolutions)
+	}
+	// Exactly one attempt went on the wire: the backoff wake-up saw the
+	// expired deadline and settled instead of retrying.
+	if got := e.Metrics().Counter("comm.messages").Value(); got != 1 {
+		t.Errorf("comm.messages = %d, want 1 (no attempt after the deadline)", got)
+	}
+	// The chain resolved at the backoff wake-up, bounded well below a
+	// second attempt's own timeout.
+	if resolvedAt > 12*time.Second {
+		t.Errorf("resolved at %v; expected at the first backoff wake-up", resolvedAt)
+	}
+	if b.OutstandingSends() != 0 {
+		t.Errorf("%d sends outstanding after drain", b.OutstandingSends())
+	}
+}

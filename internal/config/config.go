@@ -64,6 +64,16 @@ type Config struct {
 	EstimatorK       int
 	EstimatorAlpha   float64
 
+	// Reconciler parameters (declarative cluster spec): the desired
+	// satellite count, replica bounds, administratively cordoned satellite
+	// hosts, and the reconcile-loop cadence / graceful-drain deadline.
+	SatelliteTarget    int
+	SatelliteMin       int
+	SatelliteMax       int
+	CordonedSatellites []string
+	ReconcileInterval  time.Duration
+	DrainDeadline      time.Duration
+
 	// Extra holds unrecognized keys verbatim (forward compatibility, as
 	// slurm.conf tolerates plugin-specific options).
 	Extra map[string]string
@@ -191,6 +201,22 @@ func (c *Config) setScalar(key, value string) error {
 		return parseInt(value, &c.ReallocLimit)
 	case "heartbeatinterval":
 		return parseDuration(value, &c.HeartbeatInterval)
+	case "satellitetarget":
+		return parseInt(value, &c.SatelliteTarget)
+	case "satellitemin":
+		return parseInt(value, &c.SatelliteMin)
+	case "satellitemax":
+		return parseInt(value, &c.SatelliteMax)
+	case "cordonedsatellites":
+		hosts, err := hostlist.Expand(value)
+		if err != nil {
+			return err
+		}
+		c.CordonedSatellites = hosts
+	case "reconcileinterval":
+		return parseDuration(value, &c.ReconcileInterval)
+	case "draindeadline":
+		return parseDuration(value, &c.DrainDeadline)
 	case "estimatorwindow":
 		return parseInt(value, &c.EstimatorWindow)
 	case "estimatorrefresh":

@@ -636,6 +636,68 @@ func (m *Master) ShutdownSatellite(id cluster.NodeID, done func(delivered bool))
 	return nil
 }
 
+// DrainSatellite gracefully removes a satellite from service: it is
+// cordoned out of the round-robin immediately, in-flight broadcast tasks
+// are given until the deadline to resolve, and only then is the SHUTDOWN
+// command of Table II applied and sent as a real control message. Tasks
+// stranded by a forced drain are re-adopted by the dispatch watchdog
+// (reallocation, then master takeover), so no task is dropped. done, if
+// set, is called exactly once: clean reports whether the satellite left
+// BUSY on its own, delivered whether the shutdown message reached the
+// node.
+func (m *Master) DrainSatellite(id cluster.NodeID, deadline time.Duration, done func(clean, delivered bool)) error {
+	if m.Pool.Get(id) == nil {
+		return fmt.Errorf("core: node %d is not a satellite", id)
+	}
+	return m.Pool.Drain(id, deadline, func(clean bool) {
+		m.B.Send(m.Cluster.Master().ID, id, m.cfg.HeartbeatMsgBytes, func(ok bool) {
+			if done != nil {
+				done(clean, ok)
+			}
+		})
+	})
+}
+
+// ProbeSatellite heartbeats a single satellite out of cycle, feeding the
+// outcome to the state machine exactly like the periodic sweep. The
+// reconciler uses this to promote a just-reinstated standby without
+// waiting for the next sweep.
+func (m *Master) ProbeSatellite(id cluster.NodeID) error {
+	s := m.Pool.Get(id)
+	if s == nil {
+		return fmt.Errorf("core: node %d is not a satellite", id)
+	}
+	m.B.Send(m.Cluster.Master().ID, s.ID, m.cfg.HeartbeatMsgBytes, func(ok bool) {
+		if ok {
+			m.Pool.Apply(s, satellite.EvHBSuccess)
+		} else {
+			m.Pool.Apply(s, satellite.EvHBFailure)
+		}
+	})
+	return nil
+}
+
+// Tune applies runtime-adjustable ESlurm parameters (the spec-carried
+// subset): tree width, reallocation limit, and heartbeat cadence. Zero
+// values keep the current setting. Changing the cadence restarts the
+// heartbeat ticker from now; an unchanged cadence is left alone so a
+// no-op Tune cannot perturb the event trace.
+func (m *Master) Tune(treeWidth, reallocLimit int, heartbeat time.Duration) {
+	if treeWidth > 0 {
+		m.cfg.TreeWidth = treeWidth
+	}
+	if reallocLimit > 0 {
+		m.cfg.ReallocLimit = reallocLimit
+	}
+	if heartbeat > 0 && heartbeat != m.cfg.HeartbeatInterval {
+		m.cfg.HeartbeatInterval = heartbeat
+		if m.hb != nil {
+			m.hb.Stop()
+			m.hb = m.engine.Every(m.cfg.HeartbeatInterval, m.heartbeatSweep)
+		}
+	}
+}
+
 // heartbeatSweep probes satellites directly and compute nodes through the
 // satellite layer, feeding the state machine and the predictor pipeline.
 func (m *Master) heartbeatSweep() {

@@ -235,6 +235,16 @@ func TestEngineown(t *testing.T) {
 	runCase(t, "engineown_shard_fire", EngineownAnalyzer)
 }
 
+// TestReconcileLoopPattern pins the reconciler's control-loop idiom
+// against both concurrency analyzers at once: the ticker-callback form
+// (reconcileloop_good) is silent with no package waiver, while the
+// naive goroutine port (reconcileloop_bad) fires gosim on the spawn and
+// engineown on every escape route it opens.
+func TestReconcileLoopPattern(t *testing.T) {
+	runCase(t, "reconcileloop_good", GosimAnalyzer, EngineownAnalyzer)
+	runCase(t, "reconcileloop_bad", GosimAnalyzer, EngineownAnalyzer)
+}
+
 // TestGlobalmut pins the global-state audit, including the internal/lint
 // scope exemption (globalmut_exempt).
 func TestGlobalmut(t *testing.T) {

@@ -1,0 +1,59 @@
+//eslurmlint:testpath eslurm/internal/reconcileloop_bad
+
+// Package reconcileloop_bad is the naive port of the reconciler loop —
+// a background goroutine polling a stop channel — proving the pattern
+// in reconcileloop_good is load-bearing: written this way, gosim and
+// engineown both fire, and there is no package waiver to hide behind.
+package reconcileloop_bad
+
+import "time"
+
+// Engine mimics the simnet kernel surface; engineown matches it by name.
+type Engine struct {
+	now time.Duration
+}
+
+func (e *Engine) Rand(label string) *Stream        { return &Stream{} }
+func (e *Engine) Metrics() *Registry               { return &Registry{} }
+func (e *Engine) After(d time.Duration, fn func()) {}
+
+type Stream struct{ state uint64 }
+
+type Registry struct{ names []string }
+
+// Reconciler holds the engine, so Reconciler values are engine-bound.
+type Reconciler struct {
+	e    *Engine
+	stop chan struct{}
+}
+
+// Start spawns the loop as a real goroutine: gosim flags the go
+// statement itself, engineown flags the engine-bound receiver escaping
+// to it.
+func (r *Reconciler) Start() {
+	go r.loop() // want "go statement in a simulation package" "escapes to a goroutine (receiver of the go'd method call)"
+}
+
+func (r *Reconciler) loop() {
+	for {
+		select {
+		case <-r.stop:
+			return
+		default:
+		}
+	}
+}
+
+// Share ships the engine to a sibling worker over an unsanctioned
+// channel — the fan-out a shared reconcile queue would need.
+func Share(r *Reconciler, ch chan *Engine) {
+	ch <- r.e // want "escapes to a channel send"
+}
+
+// current parks a reconciler where any goroutine can reach it:
+// engine-bound global state, flagged at the declaration and the store.
+var current *Reconciler // want "package-level var current holds engine-bound"
+
+func Install(r *Reconciler) {
+	current = r // want "escapes to a store into package-level var current"
+}

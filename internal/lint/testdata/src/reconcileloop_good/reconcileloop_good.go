@@ -1,0 +1,93 @@
+//eslurmlint:testpath eslurm/internal/reconcileloop_good
+
+// Package reconcileloop_good is the reconciler's control-loop pattern
+// exactly as the linters must see it: the periodic observe→diff→act
+// round is an engine ticker callback, every drain deadline is an engine
+// timer, and all bookkeeping lives in maps owned by the reconciler. No
+// goroutine is spawned and nothing engine-bound escapes, so gosim and
+// engineown are silent without any package-level waiver.
+package reconcileloop_good
+
+import "time"
+
+// Engine mimics the simnet kernel surface; engineown matches it by name.
+type Engine struct {
+	now time.Duration
+}
+
+func (e *Engine) Rand(label string) *Stream                { return &Stream{} }
+func (e *Engine) Metrics() *Registry                       { return &Registry{} }
+func (e *Engine) After(d time.Duration, fn func())         {}
+func (e *Engine) Every(d time.Duration, fn func()) *Ticker { return &Ticker{} }
+
+// Stream, Registry and Ticker are plain types: values are engine-owned
+// only when derived from an engine.
+type Stream struct{ state uint64 }
+
+type Registry struct{ names []string }
+
+type Ticker struct{ stopped bool }
+
+func (t *Ticker) Stop() { t.stopped = true }
+
+// Reconciler owns the engine it runs on; the periodic round and every
+// drain deadline are engine callbacks on the owning goroutine.
+type Reconciler struct {
+	e        *Engine
+	ticker   *Ticker
+	draining map[int]bool
+	backoff  map[int]time.Duration
+	target   int
+	active   int
+}
+
+func New(e *Engine, target int) *Reconciler {
+	return &Reconciler{
+		e:        e,
+		target:   target,
+		draining: map[int]bool{},
+		backoff:  map[int]time.Duration{},
+	}
+}
+
+// Start arms the observe→diff→act round as an engine ticker — the
+// single-threaded stand-in for a background reconcile goroutine.
+func (r *Reconciler) Start() {
+	r.ticker = r.e.Every(30*time.Second, r.round)
+}
+
+// Stop disarms the ticker so the engine can drain to empty.
+func (r *Reconciler) Stop() {
+	if r.ticker != nil {
+		r.ticker.Stop()
+	}
+}
+
+// round reconciles the census toward the target, entirely inside one
+// callback: promotes on deficit, deadline-bounded drains on excess.
+func (r *Reconciler) round() {
+	for r.active < r.target {
+		r.promote(r.active)
+	}
+	for id := r.active - 1; r.active > r.target && id >= 0; id-- {
+		r.drain(id)
+	}
+}
+
+func (r *Reconciler) promote(id int) {
+	r.backoff[id] = 2 * r.backoff[id]
+	r.active++
+}
+
+// drain marks the satellite and arms a deadline timer; the forced
+// completion is another engine callback on the same goroutine.
+func (r *Reconciler) drain(id int) {
+	if r.draining[id] {
+		return
+	}
+	r.draining[id] = true
+	r.active--
+	r.e.After(90*time.Second, func() {
+		delete(r.draining, id)
+	})
+}

@@ -117,6 +117,11 @@ type Satellite struct {
 	// busyTasks counts broadcast tasks in flight; the satellite returns to
 	// RUNNING only when the last one resolves successfully.
 	busyTasks int
+	// cordoned marks the satellite administratively unschedulable: it keeps
+	// its Table II state but round-robin selection skips it. Orthogonal to
+	// the state machine — a cordoned satellite still heartbeats and may
+	// finish in-flight tasks (the graceful-drain window).
+	cordoned bool
 
 	// Counters for Table VI reporting.
 	TasksReceived int
@@ -126,6 +131,10 @@ type Satellite struct {
 
 // State returns the current state.
 func (s *Satellite) State() State { return s.state }
+
+// Cordoned reports whether the satellite is administratively
+// unschedulable (skipped by round-robin selection).
+func (s *Satellite) Cordoned() bool { return s.cordoned }
 
 // FaultSince returns when the satellite entered FAULT (zero unless in
 // Fault).
@@ -260,6 +269,13 @@ type Pool struct {
 	engine *simnet.Engine
 	sats   []*Satellite
 	next   int
+	// drains tracks pending graceful drains: a cordoned BUSY satellite
+	// waiting for its in-flight tasks to resolve before demotion, with a
+	// deadline timer that forces the demotion if they never do. At most one
+	// drain per satellite; completion removes the record and cancels the
+	// timer, so external demotions (SHUTDOWN, FAULT-timeout) while a drain
+	// is pending complete it without double-demoting or leaking the timer.
+	drains map[cluster.NodeID]*drainRec
 	// FaultTimeout is how long a satellite may remain in FAULT before a
 	// TIMEOUT event demotes it to DOWN.
 	FaultTimeout time.Duration
@@ -299,10 +315,12 @@ func (p *Pool) Get(id cluster.NodeID) *Satellite {
 }
 
 // RunningCount returns the number of satellites eligible for broadcasts.
+// Cordoned satellites are excluded: they may still be RUNNING but cannot
+// be selected, so they must not inflate the Eq. 1 fanout.
 func (p *Pool) RunningCount() int {
 	k := 0
 	for _, s := range p.sats {
-		if s.state == Running {
+		if s.state == Running && !s.cordoned {
 			k++
 		}
 	}
@@ -312,12 +330,13 @@ func (p *Pool) RunningCount() int {
 // NextRunning returns the next RUNNING satellite in round-robin order, or
 // nil when none is available. BUSY satellites are skipped: "only satellite
 // nodes at the RUNNING state will be chosen to participate in message
-// broadcasting."
+// broadcasting." Cordoned satellites are skipped too — that is what makes
+// a drain graceful: no new tasks land while in-flight ones resolve.
 func (p *Pool) NextRunning() *Satellite {
 	n := len(p.sats)
 	for i := 0; i < n; i++ {
 		s := p.sats[(p.next+i)%n]
-		if s.state == Running {
+		if s.state == Running && !s.cordoned {
 			p.next = (p.next + i + 1) % n
 			return s
 		}
@@ -364,6 +383,140 @@ func (p *Pool) Health() Health {
 // Drained reports whether every satellite is FAULT or DOWN.
 func (p *Pool) Drained() bool { return p.Health().Drained() }
 
+// drainRec is one pending graceful drain.
+type drainRec struct {
+	timer simnet.Event
+	done  func(clean bool)
+}
+
+// Cordon marks a satellite unschedulable without touching its state.
+// Returns false for an unknown ID.
+func (p *Pool) Cordon(id cluster.NodeID) bool {
+	s := p.Get(id)
+	if s == nil {
+		return false
+	}
+	s.cordoned = true
+	return true
+}
+
+// Uncordon clears the unschedulable mark. It refuses while a drain is
+// pending (the drain owns the cordon until it completes) and for unknown
+// IDs.
+func (p *Pool) Uncordon(id cluster.NodeID) bool {
+	s := p.Get(id)
+	if s == nil || p.drains[id] != nil {
+		return false
+	}
+	s.cordoned = false
+	return true
+}
+
+// CordonedCount returns the number of cordoned satellites.
+func (p *Pool) CordonedCount() int {
+	k := 0
+	for _, s := range p.sats {
+		if s.cordoned {
+			k++
+		}
+	}
+	return k
+}
+
+// Draining reports whether a graceful drain is pending for the satellite.
+func (p *Pool) Draining(id cluster.NodeID) bool { return p.drains[id] != nil }
+
+// DrainingCount returns the number of pending graceful drains.
+func (p *Pool) DrainingCount() int { return len(p.drains) }
+
+// Reinstate models administrator intervention through the pool: a DOWN
+// satellite returns to UNKNOWN (and is uncordoned) so the next successful
+// heartbeat can promote it. Unlike Satellite.Reinstate, the transition is
+// observed (metrics, trace, OnChange). Returns false unless the satellite
+// exists and is DOWN.
+func (p *Pool) Reinstate(id cluster.NodeID) bool {
+	s := p.Get(id)
+	if s == nil || s.state != Down {
+		return false
+	}
+	s.Reinstate()
+	s.cordoned = false
+	p.notify(s, Down, Unknown)
+	return true
+}
+
+// Drain gracefully demotes a satellite: cordon it (no new tasks), let
+// in-flight broadcast tasks resolve, then apply SHUTDOWN. If the satellite
+// is still BUSY when the deadline elapses, the demotion is forced. done is
+// called exactly once with clean=true when the satellite left BUSY on its
+// own (or was never BUSY) and clean=false when the deadline forced it or a
+// fault demoted it first. An external demotion while the drain is pending
+// (ShutdownSatellite, FAULT-timeout) completes the drain — the deadline
+// timer is cancelled and the satellite is not demoted twice. Deterministic:
+// the deadline is an engine event and all completion paths run inside
+// engine callbacks.
+func (p *Pool) Drain(id cluster.NodeID, deadline time.Duration, done func(clean bool)) error {
+	s := p.Get(id)
+	if s == nil {
+		return fmt.Errorf("satellite: drain: unknown satellite %d", id)
+	}
+	if p.drains[id] != nil {
+		return fmt.Errorf("satellite: drain: satellite %d already draining", id)
+	}
+	s.cordoned = true
+	if s.state == Down {
+		if done != nil {
+			done(true)
+		}
+		return nil
+	}
+	if s.state != Busy {
+		p.Apply(s, EvShutdown)
+		if done != nil {
+			done(true)
+		}
+		return nil
+	}
+	d := &drainRec{done: done}
+	if p.drains == nil {
+		p.drains = map[cluster.NodeID]*drainRec{}
+	}
+	p.drains[id] = d
+	d.timer = p.engine.After(deadline, func() {
+		if p.drains[id] != d {
+			return // completed (or superseded) before the deadline
+		}
+		delete(p.drains, id)
+		if s.state != Down {
+			p.Apply(s, EvShutdown)
+		}
+		if d.done != nil {
+			d.done(false)
+		}
+	})
+	return nil
+}
+
+// drainCheck completes a pending drain when its satellite leaves BUSY.
+// Called from notify after every observed transition; the record is
+// removed and the timer cancelled before any further transition is
+// applied, so completion cannot recurse or fire twice.
+func (p *Pool) drainCheck(s *Satellite, to State) {
+	d := p.drains[s.ID]
+	if d == nil || to == Busy {
+		return
+	}
+	delete(p.drains, s.ID)
+	d.timer.Cancel()
+	clean := to == Running
+	if to != Down {
+		p.Apply(s, EvShutdown)
+	}
+	if d.done != nil {
+		d.done(clean)
+	}
+}
+
 // notify fires the OnChange observer for a completed state change and
 // records the transition on the engine's observability layer: counters
 // satellite.transitions / satellite.faults / satellite.downs, plus a
@@ -388,6 +541,7 @@ func (p *Pool) notify(s *Satellite, from, to State) {
 	if p.OnChange != nil {
 		p.OnChange(s, from, to, p.Health())
 	}
+	p.drainCheck(s, to)
 }
 
 // Apply transitions a satellite and, on entry to FAULT, schedules the
