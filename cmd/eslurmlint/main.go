@@ -25,6 +25,9 @@
 //	             types, bearer functions, escapes, mutable globals) per
 //	             internal/ package as deterministic JSON and exit 0 —
 //	             the sharded-kernel work list
+//	-only A,B    run only the named analyzers (default: all); unknown
+//	             names are usage errors. Suppressions naming analyzers
+//	             that did not run are never judged stale.
 //	-j N         analysis worker count (default: GOMAXPROCS)
 //	-cache DIR   reuse per-package results from DIR, keyed by a content
 //	             hash of each package's module-local dependency closure
@@ -54,12 +57,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 	ownership := fs.Bool("ownership", false, "dump the engine-affinity map as JSON; findings do not fail the run")
 	workers := fs.Int("j", 0, "analysis worker count (0 = GOMAXPROCS)")
 	cacheDir := fs.String("cache", "", "per-package result cache directory (empty = no cache)")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: eslurmlint [-list] [-sarif] [-ownership] [-j N] [-cache dir] [packages]")
+		fmt.Fprintln(stderr, "usage: eslurmlint [-list] [-sarif] [-ownership] [-only a,b] [-j N] [-cache dir] [packages]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	analyzers := lint.Analyzers()
+	if *only != "" {
+		byName := make(map[string]*lint.Analyzer, len(analyzers))
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0:0]
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			a := byName[name]
+			if a == nil {
+				fmt.Fprintf(stderr, "eslurmlint: -only: unknown analyzer %q (see -list)\n", name)
+				fs.Usage()
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
 	}
 	if *list {
 		fmt.Fprintln(stdout, "| analyzer | rule |")
@@ -117,10 +139,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		opts.Cache = cache
 	}
-	findings := lint.RunParallel(pkgs, lint.Analyzers(), opts)
+	findings := lint.RunParallel(pkgs, analyzers, opts)
 
 	if *sarif {
-		if err := lint.WriteSARIF(stdout, findings, lint.Analyzers(), cwd); err != nil {
+		if err := lint.WriteSARIF(stdout, findings, analyzers, cwd); err != nil {
 			fmt.Fprintln(stderr, "eslurmlint:", err)
 			return 2
 		}

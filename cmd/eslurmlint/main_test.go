@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"eslurm/internal/lint"
 )
 
 // run is exercised directly so every exit path of the CLI is covered
@@ -56,6 +58,35 @@ func TestRunList(t *testing.T) {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %s:\n%s", name, out.String())
 		}
+	}
+}
+
+// TestRunOnly: -only scopes the run to the named analyzers — the
+// violating package's detrand finding fires under -only detrand and
+// vanishes under -only walltime — and an unknown name is a usage error,
+// not a silently empty (therefore clean-looking) run.
+func TestRunOnly(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-only", "detrand", "testdata/violating"}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "[detrand]") {
+		t.Errorf("-only detrand missed the finding:\n%s", out.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-only", "walltime", "testdata/violating"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0 (detrand not selected); out: %s", code, out.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-only", "nosuchanalyzer", "testdata/violating"}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2 for unknown analyzer", code)
+	}
+	if !strings.Contains(errb.String(), "nosuchanalyzer") {
+		t.Errorf("stderr does not name the unknown analyzer: %s", errb.String())
 	}
 }
 
@@ -111,6 +142,11 @@ func TestRunSARIF(t *testing.T) {
 	var log struct {
 		Version string `json:"version"`
 		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Version string `json:"version"`
+				} `json:"driver"`
+			} `json:"tool"`
 			Results []struct {
 				RuleID string `json:"ruleId"`
 			} `json:"results"`
@@ -121,6 +157,12 @@ func TestRunSARIF(t *testing.T) {
 	}
 	if log.Version != "2.1.0" || len(log.Runs) != 1 || len(log.Runs[0].Results) != 1 {
 		t.Fatalf("unexpected SARIF shape:\n%s", out.String())
+	}
+	// -sarif reports findings in the log body and still exits 0: CI
+	// uploads the artifact and the blocking decision stays with the
+	// plain-text gate. tool.version carries the ruleset schema.
+	if got := log.Runs[0].Tool.Driver.Version; got != lint.SchemaVersion {
+		t.Errorf("SARIF tool.version = %q, want lint.SchemaVersion %q", got, lint.SchemaVersion)
 	}
 	if log.Runs[0].Results[0].RuleID != "detrand" {
 		t.Errorf("ruleId = %q, want detrand", log.Runs[0].Results[0].RuleID)

@@ -475,6 +475,7 @@ func (sc *ShardedCluster) send(from, to NodeID, size int, connect bool, onArrive
 			}
 		}
 	}
+	//eslurmlint:ignore lookahead d = scale(TransferTime(size), pathFactor) with pathFactor >= 1 and TransferTime >= cfg.Latency = the group's lookahead, so now+d is bounded by a model invariant the prover's addend algebra cannot see through scale()
 	sc.g.Send(srcCell, dstCell, now+d, arrive(true))
 	if dup {
 		// Retransmission after a lost ack: the payload lands a second

@@ -13,12 +13,13 @@ import (
 	"sync/atomic"
 )
 
-// cacheSchema is folded into every cache key; bump it whenever the
-// serialized payload layout or the key derivation changes, so stale
-// entries from an older eslurmlint can never be replayed. v2 widened the
-// payload from raw findings to the full per-package unit (surviving
-// findings, malformed directives, and directive usage) — see pkgResult.
-const cacheSchema = "eslurmlint-cache-v2"
+// cacheSchema is folded into every cache key. It is derived from the
+// shared SchemaVersion const, so a schema bump — a payload layout
+// change (the generation component; v2 widened the payload from raw
+// findings to the full pkgResult unit, v3 added the flow-sensitive
+// passes) or a registered analyzer (the count component) — invalidates
+// every prior entry and stale results can never be replayed.
+const cacheSchema = "eslurmlint-cache-v" + SchemaVersion
 
 // Cache is a content-addressed store of per-package results. The key for
 // a package hashes the analyzer set, the toolchain version, and the full

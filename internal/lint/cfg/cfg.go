@@ -1,0 +1,550 @@
+// Package cfg builds intra-procedural control-flow graphs over go/ast
+// and solves forward/backward dataflow problems on them for the
+// flow-sensitive eslurmlint analyzers (spanleak, timerleak, drainpath,
+// lookahead).
+//
+// The package is deliberately std-lib-only (go/ast, go/token, go/types)
+// like the rest of the lint driver, and everything it produces is
+// deterministic by construction: blocks are numbered in builder
+// allocation order, edges keep source order, and the worklist solver
+// visits blocks in ascending index order, so the same source text always
+// yields the same graph, the same fixpoint, and the same witness paths —
+// a lint finding message is part of the byte-identical CLI/CI contract.
+//
+// The graph is intra-procedural: function literals are opaque values to
+// the enclosing function's CFG (their bodies get their own graphs), and
+// defer statements stay in their block as ordinary nodes — analyses
+// model them as actions that run on every exit edge. Panic, os.Exit,
+// runtime.Goexit and log.Fatal* terminate a path with an edge to the
+// synthetic exit block, matched by name (shadowing those identifiers
+// defeats the heuristic, which is acceptable for a linter).
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Graph is the control-flow graph of one function body. Entry is the
+// first block executed; Exit is a synthetic block every return, panic
+// and fall-off-the-end edge targets. Blocks holds every block in
+// allocation order (Entry is Blocks[0], Exit is Blocks[1]); unreachable
+// blocks (dead code after return, goto-orphaned labels) stay in the
+// slice with no predecessors.
+type Graph struct {
+	Name   string
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+}
+
+// Block is one basic block: a maximal straight-line run of statements
+// (and short-circuit condition sub-expressions) with branching only at
+// the end.
+type Block struct {
+	Index int
+	// Nodes are the statements and branch-condition expressions of the
+	// block in execution order. Condition leaves of if/for/&&/|| appear
+	// as their ast.Expr; everything else is the ast.Stmt.
+	Nodes []ast.Node
+	Succs []*Edge
+	Preds []*Edge
+}
+
+// Edge is one control transfer. For a two-way branch, Cond is the
+// decided expression and Val its outcome on this edge; for structural
+// transfers (return, range termination, switch dispatch, select arms)
+// Cond is nil and Label names the transfer for path traces.
+type Edge struct {
+	From, To *Block
+	Cond     ast.Expr
+	Val      bool
+	Label    string
+}
+
+// New builds the CFG for one function body. name is used only for
+// diagnostics.
+func New(name string, body *ast.BlockStmt) *Graph {
+	g := &Graph{Name: name}
+	b := &builder{g: g, labels: make(map[string]*Block)}
+	g.Entry = b.newBlock()
+	g.Exit = b.newBlock()
+	b.cur = g.Entry
+	b.stmt(body)
+	b.jump(g.Exit, "")
+	return g
+}
+
+// builder threads the under-construction graph through the statement
+// walk. cur == nil means the walk is in dead code; the next statement
+// materializes an unreachable block so labels and gotos still resolve.
+type builder struct {
+	g      *Graph
+	cur    *Block
+	frames []frame
+	labels map[string]*Block
+	// pendingLabel is the label of the LabeledStmt currently being
+	// built, consumed by the next loop/switch/select for labeled
+	// break/continue.
+	pendingLabel string
+	// fallTargets is the stack of "next case clause" blocks fallthrough
+	// jumps to.
+	fallTargets []*Block
+}
+
+// frame is one enclosing breakable construct. continueTo is nil for
+// switch/select frames.
+type frame struct {
+	label      string
+	breakTo    *Block
+	continueTo *Block
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block, cond ast.Expr, val bool, label string) {
+	e := &Edge{From: from, To: to, Cond: cond, Val: val, Label: label}
+	from.Succs = append(from.Succs, e)
+	to.Preds = append(to.Preds, e)
+}
+
+// current returns the block under construction, materializing an
+// unreachable one when the walk is in dead code.
+func (b *builder) current() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	return b.cur
+}
+
+func (b *builder) add(n ast.Node) {
+	cb := b.current()
+	cb.Nodes = append(cb.Nodes, n)
+}
+
+// jump ends the current block with an unconditional edge.
+func (b *builder) jump(to *Block, label string) {
+	if b.cur != nil {
+		b.edge(b.cur, to, nil, false, label)
+		b.cur = nil
+	}
+}
+
+// labelBlock returns (creating on first reference) the block a label
+// names, so forward gotos resolve.
+func (b *builder) labelBlock(name string) *Block {
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock()
+	b.labels[name] = blk
+	return blk
+}
+
+func (b *builder) pushFrame(label string, breakTo, continueTo *Block) {
+	b.frames = append(b.frames, frame{label, breakTo, continueTo})
+}
+
+func (b *builder) popFrame() { b.frames = b.frames[:len(b.frames)-1] }
+
+// branchTarget resolves break/continue: innermost matching frame, or by
+// label. wantContinue selects loops only.
+func (b *builder) branchTarget(label string, wantContinue bool) *Block {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := b.frames[i]
+		if wantContinue && f.continueTo == nil {
+			continue
+		}
+		if label != "" && f.label != label {
+			continue
+		}
+		if wantContinue {
+			return f.continueTo
+		}
+		return f.breakTo
+	}
+	return nil
+}
+
+// takeLabel consumes the pending label for the construct being built.
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			b.stmt(st)
+		}
+	case *ast.EmptyStmt:
+	case *ast.LabeledStmt:
+		lb := b.labelBlock(s.Label.Name)
+		b.jump(lb, "")
+		b.cur = lb
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s)
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+	case *ast.SwitchStmt:
+		b.switchStmt(s)
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s)
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.g.Exit, "return")
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	case *ast.ExprStmt:
+		b.add(s)
+		if isTerminatorCall(s.X) {
+			b.jump(b.g.Exit, "panic")
+		}
+	default:
+		// Assignments, declarations, defer, go, send, inc/dec: straight-
+		// line nodes. Nested function literals inside them are opaque.
+		b.add(s)
+	}
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	thenB := b.newBlock()
+	join := b.newBlock()
+	elseTarget := join
+	var elseB *Block
+	if s.Else != nil {
+		elseB = b.newBlock()
+		elseTarget = elseB
+	}
+	b.cond(s.Cond, thenB, elseTarget)
+	b.cur = thenB
+	b.stmt(s.Body)
+	b.jump(join, "")
+	if s.Else != nil {
+		b.cur = elseB
+		b.stmt(s.Else)
+		b.jump(join, "")
+	}
+	b.cur = join
+}
+
+func (b *builder) forStmt(s *ast.ForStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	head := b.newBlock()
+	b.jump(head, "")
+	body := b.newBlock()
+	after := b.newBlock()
+	continueTo := head
+	var post *Block
+	if s.Post != nil {
+		post = b.newBlock()
+		continueTo = post
+	}
+	if s.Cond != nil {
+		b.cur = head
+		b.cond(s.Cond, body, after)
+	} else {
+		b.edge(head, body, nil, false, "")
+	}
+	b.pushFrame(label, after, continueTo)
+	b.cur = body
+	b.stmt(s.Body)
+	b.popFrame()
+	b.jump(continueTo, "")
+	if post != nil {
+		b.cur = post
+		b.stmt(s.Post)
+		b.jump(head, "")
+	}
+	b.cur = after
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt) {
+	label := b.takeLabel()
+	head := b.newBlock()
+	b.jump(head, "")
+	head.Nodes = append(head.Nodes, s)
+	body := b.newBlock()
+	after := b.newBlock()
+	b.edge(head, body, nil, false, "range next")
+	b.edge(head, after, nil, false, "range done")
+	b.pushFrame(label, after, head)
+	b.cur = body
+	b.stmt(s.Body)
+	b.popFrame()
+	b.jump(head, "")
+	b.cur = after
+}
+
+func (b *builder) switchStmt(s *ast.SwitchStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	if s.Tag != nil {
+		b.add(s.Tag)
+	}
+	head := b.current()
+	after := b.newBlock()
+	b.pushFrame(label, after, nil)
+	clauses := make([]*ast.CaseClause, 0, len(s.Body.List))
+	for _, c := range s.Body.List {
+		clauses = append(clauses, c.(*ast.CaseClause))
+	}
+	bodies := make([]*Block, len(clauses))
+	for i := range clauses {
+		bodies[i] = b.newBlock()
+	}
+	if s.Tag == nil {
+		// Tagless switch is an if/else-if chain: each case expression is
+		// a boolean condition, which keeps branch refinement (nil guards
+		// and the like) working through `switch { case x != nil: ... }`.
+		b.cur = head
+		defaultIdx := -1
+		for i, cc := range clauses {
+			if cc.List == nil {
+				defaultIdx = i
+				continue
+			}
+			for j, e := range cc.List {
+				last := i == lastExprClause(clauses) && j == len(cc.List)-1
+				var next *Block
+				if last {
+					next = after
+					if defaultIdx >= 0 {
+						next = bodies[defaultIdx]
+					}
+				} else {
+					next = b.newBlock()
+				}
+				b.cond(e, bodies[i], next)
+				b.cur = next
+			}
+		}
+		if b.cur == after {
+			b.cur = nil
+		}
+	} else {
+		for i, cc := range clauses {
+			b.edge(head, bodies[i], nil, false, clauseLabel(cc.List))
+		}
+		if defaultIndex(clauses) < 0 {
+			b.edge(head, after, nil, false, "no case matches")
+		}
+		b.cur = nil
+	}
+	for i, cc := range clauses {
+		// fallthrough in clause i jumps to clause i+1's body.
+		if i+1 < len(bodies) {
+			b.fallTargets = append(b.fallTargets, bodies[i+1])
+		} else {
+			b.fallTargets = append(b.fallTargets, after)
+		}
+		b.cur = bodies[i]
+		for _, st := range cc.Body {
+			b.stmt(st)
+		}
+		b.fallTargets = b.fallTargets[:len(b.fallTargets)-1]
+		b.jump(after, "")
+	}
+	b.popFrame()
+	b.cur = after
+}
+
+// lastExprClause returns the index of the last non-default clause.
+func lastExprClause(clauses []*ast.CaseClause) int {
+	last := -1
+	for i, cc := range clauses {
+		if cc.List != nil {
+			last = i
+		}
+	}
+	return last
+}
+
+func defaultIndex(clauses []*ast.CaseClause) int {
+	for i, cc := range clauses {
+		if cc.List == nil {
+			return i
+		}
+	}
+	return -1
+}
+
+func clauseLabel(list []ast.Expr) string {
+	if list == nil {
+		return "default"
+	}
+	return "case " + exprListString(list)
+}
+
+func (b *builder) typeSwitchStmt(s *ast.TypeSwitchStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	b.add(s.Assign)
+	head := b.current()
+	after := b.newBlock()
+	b.pushFrame(label, after, nil)
+	hasDefault := false
+	for _, c := range s.Body.List {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		body := b.newBlock()
+		b.edge(head, body, nil, false, clauseLabel(cc.List))
+		b.cur = body
+		for _, st := range cc.Body {
+			b.stmt(st)
+		}
+		b.jump(after, "")
+	}
+	if !hasDefault {
+		b.edge(head, after, nil, false, "no case matches")
+	}
+	b.popFrame()
+	b.cur = after
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt) {
+	label := b.takeLabel()
+	head := b.current()
+	after := b.newBlock()
+	b.pushFrame(label, after, nil)
+	for _, c := range s.Body.List {
+		cc := c.(*ast.CommClause)
+		body := b.newBlock()
+		b.edge(head, body, nil, false, commLabel(cc.Comm))
+		b.cur = body
+		if cc.Comm != nil {
+			b.stmt(cc.Comm)
+		}
+		for _, st := range cc.Body {
+			b.stmt(st)
+		}
+		b.jump(after, "")
+	}
+	b.popFrame()
+	// select {} with no clauses blocks forever; after is then
+	// unreachable, which the empty Preds list records.
+	b.cur = after
+}
+
+func commLabel(comm ast.Stmt) string {
+	if comm == nil {
+		return "select default"
+	}
+	return "select " + stmtString(comm)
+}
+
+func (b *builder) branchStmt(s *ast.BranchStmt) {
+	b.add(s)
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		if t := b.branchTarget(label, false); t != nil {
+			b.jump(t, "break")
+		} else {
+			b.cur = nil
+		}
+	case token.CONTINUE:
+		if t := b.branchTarget(label, true); t != nil {
+			b.jump(t, "continue")
+		} else {
+			b.cur = nil
+		}
+	case token.GOTO:
+		b.jump(b.labelBlock(label), "goto")
+	case token.FALLTHROUGH:
+		if n := len(b.fallTargets); n > 0 {
+			b.jump(b.fallTargets[n-1], "fallthrough")
+		} else {
+			b.cur = nil
+		}
+	}
+}
+
+// cond lowers a boolean expression into branch edges, decomposing
+// short-circuit && / || / ! so each leaf condition gets its own block
+// and true/false edges — that is what lets analyses refine state on
+// `done != nil && !closed` one conjunct at a time.
+func (b *builder) cond(e ast.Expr, t, f *Block) {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		b.cond(x.X, t, f)
+		return
+	case *ast.UnaryExpr:
+		if x.Op == token.NOT {
+			b.cond(x.X, f, t)
+			return
+		}
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.LAND:
+			mid := b.newBlock()
+			b.cond(x.X, mid, f)
+			b.cur = mid
+			b.cond(x.Y, t, f)
+			return
+		case token.LOR:
+			mid := b.newBlock()
+			b.cond(x.X, t, mid)
+			b.cur = mid
+			b.cond(x.Y, t, f)
+			return
+		}
+	}
+	cb := b.current()
+	cb.Nodes = append(cb.Nodes, e)
+	b.edge(cb, t, e, true, "")
+	b.edge(cb, f, e, false, "")
+	b.cur = nil
+}
+
+// isTerminatorCall matches calls that never return, by name: panic,
+// os.Exit, runtime.Goexit, log.Fatal/Fatalf/Fatalln.
+func isTerminatorCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		pkg, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch pkg.Name + "." + fun.Sel.Name {
+		case "os.Exit", "runtime.Goexit", "log.Fatal", "log.Fatalf", "log.Fatalln":
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,248 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// parseFunc type-checks one snippet (a function body wrapped in a
+// package) and builds its CFG. Snippets avoid imports so no importer is
+// needed.
+func parseFunc(t *testing.T, body string) (*Graph, *types.Info, *token.FileSet) {
+	t.Helper()
+	src := "package p\n\n" + body
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "snippet.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+		Types: make(map[ast.Expr]types.TypeAndValue),
+	}
+	conf := types.Config{Error: func(err error) {}}
+	conf.Check("p", fset, []*ast.File{f}, info) // snippets may use undeclared stubs; best effort
+	var fd *ast.FuncDecl
+	for _, d := range f.Decls {
+		if x, ok := d.(*ast.FuncDecl); ok && x.Name.Name == "f" {
+			fd = x
+		}
+	}
+	if fd == nil {
+		t.Fatal("snippet has no func f")
+	}
+	return New("f", fd.Body), info, fset
+}
+
+// TestEdgeShapes is the table-driven structural suite: each case pins
+// the rendered shape of one control construct via substrings of
+// Graph.String().
+func TestEdgeShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want []string
+	}{
+		{
+			name: "if short-circuit and",
+			src:  "func f(a, b bool) int {\n\tif a && b {\n\t\treturn 1\n\t}\n\treturn 0\n}",
+			// a=false and b=false both route to the else target; a=true
+			// routes to b's own condition block.
+			want: []string{"[`a`=true]", "[`a`=false]", "[`b`=true]", "[`b`=false]", "[return]"},
+		},
+		{
+			name: "if short-circuit or with not",
+			src:  "func f(a, b bool) int {\n\tif !a || b {\n\t\treturn 1\n\t}\n\treturn 0\n}",
+			// !a is decomposed: the negation swaps the edge targets, so
+			// the decided condition is bare `a`.
+			want: []string{"[`a`=false]", "[`a`=true]", "[`b`=true]", "[`b`=false]"},
+		},
+		{
+			name: "labeled continue targets outer loop",
+			src:  "func f(xs [][]int) int {\n\tn := 0\nouter:\n\tfor i := 0; i < len(xs); i++ {\n\t\tfor j := 0; j < len(xs[i]); j++ {\n\t\t\tif xs[i][j] < 0 {\n\t\t\t\tcontinue outer\n\t\t\t}\n\t\t\tn++\n\t\t}\n\t}\n\treturn n\n}",
+			want: []string{"[continue]", "[`i < len(xs)`=true]", "[`j < len(xs[i])`=true]"},
+		},
+		{
+			name: "labeled break",
+			src:  "func f(xs [][]int) int {\nouter:\n\tfor _, row := range xs {\n\t\tfor _, v := range row {\n\t\t\tif v == 0 {\n\t\t\t\tbreak outer\n\t\t\t}\n\t\t}\n\t}\n\treturn 1\n}",
+			want: []string{"[break]", "[range next]", "[range done]"},
+		},
+		{
+			name: "select with default",
+			src:  "func f(ch chan int) int {\n\tselect {\n\tcase v := <-ch:\n\t\treturn v\n\tdefault:\n\t\treturn 0\n\t}\n}",
+			want: []string{"[select v := <-ch]", "[select default]"},
+		},
+		{
+			name: "defer in loop stays in body block",
+			src:  "func f(n int) {\n\tfor i := 0; i < n; i++ {\n\t\tdefer println(i)\n\t}\n}",
+			want: []string{"[`i < n`=true]", "[`i < n`=false]"},
+		},
+		{
+			name: "tagged switch dispatch labels",
+			src:  "func f(x int) int {\n\tswitch x {\n\tcase 1, 2:\n\t\treturn 10\n\tcase 3:\n\t\treturn 30\n\t}\n\treturn 0\n}",
+			want: []string{"[case 1, 2]", "[case 3]", "[no case matches]"},
+		},
+		{
+			name: "tagless switch is a condition chain",
+			src:  "func f(x int) int {\n\tswitch {\n\tcase x > 0:\n\t\treturn 1\n\tdefault:\n\t\treturn -1\n\t}\n}",
+			want: []string{"[`x > 0`=true]", "[`x > 0`=false]"},
+		},
+		{
+			name: "type switch labels",
+			src:  "func f(x interface{}) int {\n\tswitch x.(type) {\n\tcase int:\n\t\treturn 1\n\tdefault:\n\t\treturn 0\n\t}\n}",
+			want: []string{"[case int]", "[default]"},
+		},
+		{
+			name: "fallthrough chains clauses",
+			src:  "func f(x int) int {\n\tn := 0\n\tswitch x {\n\tcase 1:\n\t\tn++\n\t\tfallthrough\n\tcase 2:\n\t\tn += 2\n\t}\n\treturn n\n}",
+			want: []string{"[fallthrough]", "[case 1]", "[case 2]"},
+		},
+		{
+			name: "goto forward",
+			src:  "func f(x int) int {\n\tif x > 0 {\n\t\tgoto done\n\t}\n\tx = -x\ndone:\n\treturn x\n}",
+			want: []string{"[goto]"},
+		},
+		{
+			name: "panic terminates the path",
+			src:  "func f(x int) int {\n\tif x < 0 {\n\t\tpanic(\"neg\")\n\t}\n\treturn x\n}",
+			want: []string{"[panic]"},
+		},
+		{
+			name: "range loop back edge",
+			src:  "func f(xs []int) int {\n\tn := 0\n\tfor _, v := range xs {\n\t\tn += v\n\t}\n\treturn n\n}",
+			want: []string{"[range next]", "[range done]"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g, _, _ := parseFunc(t, tc.src)
+			got := g.String()
+			for _, w := range tc.want {
+				if !strings.Contains(got, w) {
+					t.Errorf("graph missing %q:\n%s", w, got)
+				}
+			}
+		})
+	}
+}
+
+// TestBuildDeterministic pins that two builds of the same body render
+// identically — block numbering and edge order are part of the finding-
+// message byte-identity contract.
+func TestBuildDeterministic(t *testing.T) {
+	src := "func f(a, b bool, xs []int) int {\n\tn := 0\nouter:\n\tfor _, v := range xs {\n\t\tif a && b {\n\t\t\tcontinue outer\n\t\t}\n\t\tn += v\n\t}\n\treturn n\n}"
+	g1, _, _ := parseFunc(t, src)
+	g2, _, _ := parseFunc(t, src)
+	if g1.String() != g2.String() {
+		t.Fatalf("non-deterministic build:\n%s\nvs\n%s", g1, g2)
+	}
+}
+
+// TestReachingDefs pins the may-analysis: both branch definitions reach
+// the join, and a loop-carried def reaches the loop head.
+func TestReachingDefs(t *testing.T) {
+	g, info, _ := parseFunc(t, "func f(c bool) int {\n\tx := 1\n\tif c {\n\t\tx = 2\n\t} else {\n\t\tx = 3\n\t}\n\treturn x\n}")
+	r := ReachingDefs(g, info)
+	if len(r.Defs) != 3 {
+		t.Fatalf("expected 3 defs of x, got %d", len(r.Defs))
+	}
+	// The block holding the return must see exactly the two branch defs.
+	var retBlock *Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.ReturnStmt); ok {
+				retBlock = b
+			}
+		}
+	}
+	if retBlock == nil {
+		t.Fatal("no return block")
+	}
+	reach := r.DefsOf(retBlock, r.Defs[0].Var)
+	if len(reach) != 2 {
+		t.Fatalf("expected 2 defs reaching the return, got %v", reach)
+	}
+	for _, di := range reach {
+		if di == 0 {
+			t.Fatalf("killed def x := 1 reaches the return")
+		}
+	}
+}
+
+// TestLiveness pins the backward analysis: a variable used after the
+// branch is live at entry; one overwritten on every path is not live
+// past its last use.
+func TestLiveness(t *testing.T) {
+	g, info, _ := parseFunc(t, "func f(c bool) int {\n\tx := 1\n\ty := 2\n\tif c {\n\t\ty = x\n\t}\n\treturn y\n}")
+	live := Liveness(g, info)
+	names := func(vars []*types.Var) string {
+		var ns []string
+		for _, v := range vars {
+			ns = append(ns, v.Name())
+		}
+		return strings.Join(ns, ",")
+	}
+	// Entry block defines both x and y, so neither is live at its entry;
+	// the then-block uses x and the join uses y.
+	if got := names(live[g.Entry.Index]); strings.Contains(got, "x") || strings.Contains(got, "y") {
+		t.Fatalf("entry live set should not contain x or y, got %q", got)
+	}
+	foundXLive := false
+	for i := range g.Blocks {
+		if strings.Contains(names(live[i]), "x") {
+			foundXLive = true
+		}
+	}
+	if !foundXLive {
+		t.Fatal("x should be live somewhere between its def and the branch use")
+	}
+}
+
+// TestWitnessPath pins deterministic reconstruction: the shortest
+// all-edges-allowed path from entry to the return renders with the
+// branch condition visible.
+func TestWitnessPath(t *testing.T) {
+	g, _, fset := parseFunc(t, "func f(c bool) int {\n\tif c {\n\t\treturn 1\n\t}\n\treturn 0\n}")
+	var retBlocks []*Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.ReturnStmt); ok {
+				retBlocks = append(retBlocks, b)
+			}
+		}
+	}
+	if len(retBlocks) != 2 {
+		t.Fatalf("expected 2 return blocks, got %d", len(retBlocks))
+	}
+	path := WitnessPath(g, retBlocks[0], func(e *Edge) bool { return true })
+	if path == nil {
+		t.Fatal("no witness path to the first return")
+	}
+	got := RenderPath(fset, path)
+	if !strings.HasPrefix(got, "entry") || !strings.Contains(got, "`c`=true") {
+		t.Fatalf("unexpected witness rendering %q", got)
+	}
+	// Same inputs, same path.
+	if again := RenderPath(fset, WitnessPath(g, retBlocks[0], func(e *Edge) bool { return true })); again != got {
+		t.Fatalf("witness not deterministic: %q vs %q", got, again)
+	}
+}
+
+// TestTraceSharing pins the immutable-extend semantics sibling paths
+// rely on.
+func TestTraceSharing(t *testing.T) {
+	base := (*Trace)(nil).Extend("entry")
+	a := base.Extend("left")
+	b := base.Extend("right")
+	if a.String() != "entry -> left" || b.String() != "entry -> right" {
+		t.Fatalf("trace extend corrupted siblings: %q / %q", a, b)
+	}
+	if base.Len() != 1 || a.Len() != 2 {
+		t.Fatalf("trace lengths wrong: %d / %d", base.Len(), a.Len())
+	}
+}

@@ -1,0 +1,400 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Problem is one dataflow analysis over a Graph, solved to a fixpoint
+// by Forward or Backward. The state type S is opaque to the solver;
+// Transfer and EdgeTransfer must be pure (treat their input as
+// immutable and return the successor state), and Join must merge src
+// into dst, reporting whether dst changed — monotone joins are the
+// caller's obligation and what guarantees termination.
+type Problem[S any] struct {
+	// Boundary is the state at the entry block (Forward) or exit block
+	// (Backward).
+	Boundary S
+	// Transfer produces the block's out-state (Forward: after executing
+	// its nodes; Backward: before them) from its in-state.
+	Transfer func(b *Block, s S) S
+	// EdgeTransfer optionally refines the state crossing an edge —
+	// branch-condition refinement (nil guards, bound-raising compares)
+	// lives here. May be nil.
+	EdgeTransfer func(e *Edge, s S) S
+	// Join merges src into dst and reports whether dst changed. dst may
+	// be the zero S the first time a block is reached.
+	Join func(dst, src S) (S, bool)
+}
+
+// Result holds the solved per-block states, indexed by Block.Index.
+// Blocks never reached from the boundary have Reached[i] == false and
+// zero states — analyses must skip them (dead code proves nothing).
+type Result[S any] struct {
+	In, Out []S
+	Reached []bool
+}
+
+// Forward solves p over g in execution direction: In[b] is the join of
+// predecessors' edge-refined Out states, Out[b] = Transfer(b, In[b]).
+// The worklist is drained in ascending block-index order, so the
+// fixpoint — including any first-wins witness choices made inside Join —
+// is deterministic.
+func Forward[S any](g *Graph, p Problem[S]) Result[S] {
+	return solve(g, p, false)
+}
+
+// Backward solves p against execution direction: In[b] here is the
+// state after the block (join over successors), Out[b] the state before
+// it — liveness-style.
+func Backward[S any](g *Graph, p Problem[S]) Result[S] {
+	return solve(g, p, true)
+}
+
+func solve[S any](g *Graph, p Problem[S], backward bool) Result[S] {
+	n := len(g.Blocks)
+	res := Result[S]{In: make([]S, n), Out: make([]S, n), Reached: make([]bool, n)}
+	start := g.Entry
+	if backward {
+		start = g.Exit
+	}
+	res.In[start.Index] = p.Boundary
+	res.Reached[start.Index] = true
+
+	inList := make([]bool, n)
+	var list []int
+	push := func(i int) {
+		if !inList[i] {
+			inList[i] = true
+			list = append(list, i)
+		}
+	}
+	push(start.Index)
+	for len(list) > 0 {
+		// Ascending-index draining keeps the visit order — and thus any
+		// first-wins tie-breaks in Join — independent of arrival order.
+		sort.Ints(list)
+		i := list[0]
+		list = list[1:]
+		inList[i] = false
+		b := g.Blocks[i]
+		out := p.Transfer(b, res.In[i])
+		res.Out[i] = out
+		edges := b.Succs
+		if backward {
+			edges = b.Preds
+		}
+		for _, e := range edges {
+			v := out
+			if p.EdgeTransfer != nil {
+				v = p.EdgeTransfer(e, v)
+			}
+			dst := e.To
+			if backward {
+				dst = e.From
+			}
+			j := dst.Index
+			merged, changed := p.Join(res.In[j], v)
+			if changed || !res.Reached[j] {
+				res.In[j] = merged
+				res.Reached[j] = true
+				push(j)
+			}
+		}
+	}
+	return res
+}
+
+// ---- Reaching definitions ----
+
+// Def is one definition site of a local variable inside the function
+// body: an assignment, short declaration, inc/dec, or range binding.
+type Def struct {
+	Var  *types.Var
+	Site ast.Node
+	Pos  token.Pos
+}
+
+// ReachResult is the solved reaching-definitions problem: for each
+// block, the indices into Defs of the definitions that may reach its
+// entry.
+type ReachResult struct {
+	Defs []Def
+	In   [][]int
+}
+
+// DefsOf returns the indices of defs of v reaching block b's entry.
+func (r *ReachResult) DefsOf(b *Block, v *types.Var) []int {
+	var out []int
+	for _, i := range r.In[b.Index] {
+		if r.Defs[i].Var == v {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ReachingDefs solves the classic forward may-analysis over g: which
+// definition sites of each variable can reach each block. Definitions
+// inside nested function literals belong to the literal, not g, and are
+// skipped.
+func ReachingDefs(g *Graph, info *types.Info) *ReachResult {
+	// Collect def sites in block order, node order — deterministic.
+	var defs []Def
+	gen := make([][]int, len(g.Blocks))
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			collectDefs(n, info, func(v *types.Var, site ast.Node, pos token.Pos) {
+				gen[b.Index] = append(gen[b.Index], len(defs))
+				defs = append(defs, Def{Var: v, Site: site, Pos: pos})
+			})
+		}
+	}
+	// Bitset state over def indices.
+	words := (len(defs) + 63) / 64
+	type bits = []uint64
+	clone := func(s bits) bits {
+		out := make(bits, words)
+		copy(out, s)
+		return out
+	}
+	p := Problem[bits]{
+		Boundary: make(bits, words),
+		Transfer: func(b *Block, s bits) bits {
+			out := clone(s)
+			for _, gi := range gen[b.Index] {
+				// Kill every other def of the same variable, then gen.
+				v := defs[gi].Var
+				for di := range defs {
+					if defs[di].Var == v {
+						out[di/64] &^= 1 << uint(di%64)
+					}
+				}
+				out[gi/64] |= 1 << uint(gi%64)
+			}
+			return out
+		},
+		Join: func(dst, src bits) (bits, bool) {
+			if dst == nil {
+				return clone(src), true
+			}
+			changed := false
+			for w := range dst {
+				if dst[w]|src[w] != dst[w] {
+					dst[w] |= src[w]
+					changed = true
+				}
+			}
+			return dst, changed
+		},
+	}
+	res := Forward(g, p)
+	out := &ReachResult{Defs: defs, In: make([][]int, len(g.Blocks))}
+	for i := range g.Blocks {
+		if !res.Reached[i] || res.In[i] == nil {
+			continue
+		}
+		for di := range defs {
+			if res.In[i][di/64]&(1<<uint(di%64)) != 0 {
+				out.In[i] = append(out.In[i], di)
+			}
+		}
+	}
+	return out
+}
+
+// collectDefs walks one block node reporting each local-variable
+// definition, without descending into function literals.
+func collectDefs(n ast.Node, info *types.Info, emit func(v *types.Var, site ast.Node, pos token.Pos)) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch s := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				if v := lhsLocal(lhs, info); v != nil {
+					emit(v, s, lhs.Pos())
+				}
+			}
+		case *ast.IncDecStmt:
+			if v := lhsLocal(s.X, info); v != nil {
+				emit(v, s, s.X.Pos())
+			}
+		case *ast.RangeStmt:
+			// Only the head node carries the bindings; its body is in
+			// other blocks, and Inspect from the head node would descend
+			// into it — cut the walk at the body.
+			for _, e := range []ast.Expr{s.Key, s.Value} {
+				if e == nil {
+					continue
+				}
+				if v := lhsLocal(e, info); v != nil {
+					emit(v, s, e.Pos())
+				}
+			}
+			return false
+		case *ast.ValueSpec:
+			for _, name := range s.Names {
+				if v, ok := info.Defs[name].(*types.Var); ok {
+					emit(v, s, name.Pos())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// lhsLocal resolves a plain-identifier assignment target to its
+// *types.Var; dereferences, fields and index expressions return nil
+// (they mutate through the variable, not the binding).
+func lhsLocal(e ast.Expr, info *types.Info) *types.Var {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if v, ok := info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := info.Uses[id].(*types.Var)
+	return v
+}
+
+// ---- Liveness ----
+
+// Liveness solves the classic backward may-analysis: for each block,
+// the set of local variables live at its entry, sorted by name then
+// position for deterministic output. Uses inside nested function
+// literals count as uses at the literal's site (a capture keeps the
+// variable live), which is exactly the conservatism the leak analyzers
+// want.
+func Liveness(g *Graph, info *types.Info) [][]*types.Var {
+	// Per block: use = vars read before any write in the block,
+	// def = vars written.
+	n := len(g.Blocks)
+	use := make([]map[*types.Var]bool, n)
+	def := make([]map[*types.Var]bool, n)
+	for _, b := range g.Blocks {
+		u, d := map[*types.Var]bool{}, map[*types.Var]bool{}
+		for _, node := range b.Nodes {
+			blockUsesDefs(node, info, u, d)
+		}
+		use[b.Index], def[b.Index] = u, d
+	}
+	type set = map[*types.Var]bool
+	p := Problem[set]{
+		Boundary: set{},
+		// Backward: in-state is liveness after the block, out-state
+		// liveness before it.
+		Transfer: func(b *Block, s set) set {
+			out := make(set, len(s)+len(use[b.Index]))
+			for v := range s {
+				if !def[b.Index][v] {
+					out[v] = true
+				}
+			}
+			for v := range use[b.Index] {
+				out[v] = true
+			}
+			return out
+		},
+		Join: func(dst, src set) (set, bool) {
+			if dst == nil {
+				dst = make(set, len(src))
+			}
+			changed := false
+			for v := range src {
+				if !dst[v] {
+					dst[v] = true
+					changed = true
+				}
+			}
+			return dst, changed
+		},
+	}
+	res := Backward(g, p)
+	out := make([][]*types.Var, n)
+	for i := range g.Blocks {
+		// res.Out is the state *before* the block in a backward problem,
+		// i.e. live-in.
+		var vars []*types.Var
+		for v := range res.Out[i] {
+			vars = append(vars, v)
+		}
+		sort.Slice(vars, func(a, b int) bool {
+			if vars[a].Name() != vars[b].Name() {
+				return vars[a].Name() < vars[b].Name()
+			}
+			return vars[a].Pos() < vars[b].Pos()
+		})
+		out[i] = vars
+	}
+	return out
+}
+
+// blockUsesDefs accumulates upward-exposed uses and definitions for one
+// block node, in order.
+func blockUsesDefs(n ast.Node, info *types.Info, use, def map[*types.Var]bool) {
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			exprUses(rhs, info, use, def)
+		}
+		for _, lhs := range s.Lhs {
+			if v := lhsLocal(lhs, info); v != nil {
+				def[v] = true
+			} else {
+				// x.f = ..., a[i] = ...: reads x / a and i.
+				exprUses(lhs, info, use, def)
+			}
+		}
+	case *ast.RangeStmt:
+		exprUses(s.X, info, use, def)
+		for _, e := range []ast.Expr{s.Key, s.Value} {
+			if e == nil {
+				continue
+			}
+			if v := lhsLocal(e, info); v != nil {
+				def[v] = true
+			}
+		}
+	case *ast.ValueSpec:
+		for _, val := range s.Values {
+			exprUses(val, info, use, def)
+		}
+		for _, name := range s.Names {
+			if v, ok := info.Defs[name].(*types.Var); ok {
+				def[v] = true
+			}
+		}
+	case *ast.IncDecStmt:
+		exprUses(s.X, info, use, def)
+		if v := lhsLocal(s.X, info); v != nil {
+			def[v] = true
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					blockUsesDefs(vs, info, use, def)
+				}
+			}
+		}
+	default:
+		exprUses(n, info, use, def)
+	}
+}
+
+// exprUses records every variable read in n (function literals
+// included: a capture is a use).
+func exprUses(n ast.Node, info *types.Info, use, def map[*types.Var]bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok {
+			if v, ok := info.Uses[id].(*types.Var); ok && !def[v] {
+				use[v] = true
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,188 @@
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// This file renders CFG edges and witness paths into the deterministic
+// text fragments finding messages embed: every branch on a path becomes
+// "`cond`=true (file.go:12)", mirroring the taint pass's
+// source→hops→sink chains so a reviewer can replay the path by eye.
+
+// Trace is an immutable witness path: a shared-tail linked list so
+// extending a path at a branch costs O(1) and sibling paths share their
+// prefix. The zero value (nil) is the empty path.
+type Trace struct {
+	prev *Trace
+	step string
+}
+
+// Extend returns the trace with one step appended.
+func (t *Trace) Extend(step string) *Trace {
+	return &Trace{prev: t, step: step}
+}
+
+// Steps returns the steps in path order.
+func (t *Trace) Steps() []string {
+	var n int
+	for c := t; c != nil; c = c.prev {
+		n++
+	}
+	out := make([]string, n)
+	for c := t; c != nil; c = c.prev {
+		n--
+		out[n] = c.step
+	}
+	return out
+}
+
+// String joins the steps with " -> ", the canonical path separator.
+func (t *Trace) String() string {
+	return strings.Join(t.Steps(), " -> ")
+}
+
+// Len reports the number of steps.
+func (t *Trace) Len() int {
+	n := 0
+	for c := t; c != nil; c = c.prev {
+		n++
+	}
+	return n
+}
+
+// EdgeDesc renders one edge for a path trace. Conditional edges show
+// the decided expression and its outcome with the condition's position;
+// structural edges show their label. Unconditional fallthrough edges
+// render as "" and should be skipped by callers.
+func EdgeDesc(fset *token.FileSet, e *Edge) string {
+	if e.Cond != nil {
+		return fmt.Sprintf("`%s`=%v (%s)", types.ExprString(e.Cond), e.Val, shortPos(fset.Position(e.Cond.Pos())))
+	}
+	return e.Label
+}
+
+// ExtendEdge appends an edge's description to a trace, skipping edges
+// that add no information (plain block joins).
+func (t *Trace) ExtendEdge(fset *token.FileSet, e *Edge) *Trace {
+	d := EdgeDesc(fset, e)
+	if d == "" {
+		return t
+	}
+	return t.Extend(d)
+}
+
+// WitnessPath reconstructs a deterministic entry→target path from
+// per-block solver state: ok(e) reports whether the fact under
+// discussion held along edge e (i.e. the path may continue through it).
+// The search is breadth-first over predecessors in stored edge order,
+// so the shortest such path — and with ties, the first in source order —
+// is always chosen. Returns nil if target is unreachable through ok
+// edges.
+func WitnessPath(g *Graph, target *Block, ok func(e *Edge) bool) []*Edge {
+	if target == g.Entry {
+		return []*Edge{}
+	}
+	// BFS backward from target to entry.
+	via := make(map[*Block]*Edge, len(g.Blocks))
+	queue := []*Block{target}
+	seen := make(map[*Block]bool, len(g.Blocks))
+	seen[target] = true
+	for len(queue) > 0 {
+		blk := queue[0]
+		queue = queue[1:]
+		for _, e := range blk.Preds {
+			if !ok(e) || seen[e.From] {
+				continue
+			}
+			seen[e.From] = true
+			via[e.From] = e
+			if e.From == g.Entry {
+				// Walk forward from entry collecting edges.
+				var path []*Edge
+				for b := g.Entry; b != target; {
+					e := via[b]
+					path = append(path, e)
+					b = e.To
+				}
+				return path
+			}
+			queue = append(queue, e.From)
+		}
+	}
+	return nil
+}
+
+// RenderPath renders a witness path as a trace string, starting from
+// "entry" so even a straight-line path has visible shape.
+func RenderPath(fset *token.FileSet, path []*Edge) string {
+	t := (*Trace)(nil).Extend("entry")
+	for _, e := range path {
+		t = t.ExtendEdge(fset, e)
+	}
+	return t.String()
+}
+
+// String renders the graph structure — one line per block with its
+// successor edges — for tests and debugging. Node contents are elided;
+// the shape plus edge conditions/labels is what the edge-shape tests
+// pin.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	for _, b := range g.Blocks {
+		fmt.Fprintf(&sb, "b%d:", b.Index)
+		for _, e := range b.Succs {
+			d := ""
+			if e.Cond != nil {
+				d = fmt.Sprintf("`%s`=%v", types.ExprString(e.Cond), e.Val)
+			} else if e.Label != "" {
+				d = e.Label
+			}
+			if d == "" {
+				fmt.Fprintf(&sb, " ->b%d", e.To.Index)
+			} else {
+				fmt.Fprintf(&sb, " ->b%d[%s]", e.To.Index, d)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func shortPos(pos token.Position) string {
+	return fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+}
+
+// exprListString renders a case-clause expression list compactly.
+func exprListString(list []ast.Expr) string {
+	parts := make([]string, len(list))
+	for i, e := range list {
+		parts[i] = types.ExprString(e)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// stmtString renders the few statement forms that label CFG edges
+// (select comm clauses): send, receive-assign, receive.
+func stmtString(s ast.Stmt) string {
+	switch s := s.(type) {
+	case *ast.SendStmt:
+		return types.ExprString(s.Chan) + " <- " + types.ExprString(s.Value)
+	case *ast.ExprStmt:
+		return types.ExprString(s.X)
+	case *ast.AssignStmt:
+		var lhs, rhs []string
+		for _, e := range s.Lhs {
+			lhs = append(lhs, types.ExprString(e))
+		}
+		for _, e := range s.Rhs {
+			rhs = append(rhs, types.ExprString(e))
+		}
+		return strings.Join(lhs, ", ") + " " + s.Tok.String() + " " + strings.Join(rhs, ", ")
+	}
+	return fmt.Sprintf("%T", s)
+}

@@ -1,0 +1,340 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"eslurm/internal/lint/cfg"
+)
+
+// DrainpathAnalyzer enforces the exactly-once completion-callback
+// contract in the drain machinery (internal/satellite and
+// internal/reconcile): a func-typed parameter named like a completion
+// hook must be invoked exactly once on every path out of the function.
+// Zero invocations strand the caller waiting forever; two demote an
+// already-settled satellite again — the double-demote bug class the
+// drainRec generation checks exist to prevent. Paths are excused when
+// the callback is proven nil (the caller opted out) or the function
+// returns a freshly constructed error (the operation never started).
+// A parameter that escapes — stored, captured, returned, or passed to a
+// helper not itself proven exactly-once — transfers the obligation to
+// its new owner and is not tracked further.
+var DrainpathAnalyzer = &Analyzer{
+	Name: "drainpath",
+	Doc:  "require completion callbacks in satellite/reconcile to be invoked exactly once per path",
+	Run:  runDrainpath,
+}
+
+func runDrainpath(p *Package) []Finding {
+	if !strings.HasSuffix(p.ImportPath, "internal/satellite") &&
+		!strings.HasSuffix(p.ImportPath, "internal/reconcile") {
+		return nil
+	}
+	once := invokesOnceSet(p)
+	var out []Finding
+	for _, fb := range flowBodies(p) {
+		for _, v := range funcParams(fb.p, fb.ftyp) {
+			escaped, res := drainScan(fb, v, once)
+			if escaped || !res.reached {
+				continue
+			}
+			if res.many != nil {
+				out = append(out, Finding{fb.p.Fset.Position(v.Pos()), "drainpath",
+					fmt.Sprintf("callback %q in %s may be invoked more than once on path: %s; the contract is exactly-once — a second call re-settles an already-settled drain (the double-demote bug class)",
+						v.Name(), fb.name, res.many)})
+				continue
+			}
+			if res.zero != nil {
+				out = append(out, Finding{fb.p.Fset.Position(v.Pos()), "drainpath",
+					fmt.Sprintf("callback %q in %s may never be invoked on path: %s; the contract is exactly-once — invoke it on every non-error path or nil-guard it",
+						v.Name(), fb.name, res.zero)})
+			}
+		}
+	}
+	return out
+}
+
+// funcParams returns the named func-typed parameters of ftyp.
+func funcParams(p *Package, ftyp *ast.FuncType) []*types.Var {
+	var out []*types.Var
+	if ftyp.Params == nil {
+		return nil
+	}
+	for _, field := range ftyp.Params.List {
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			v, ok := p.Info.Defs[name].(*types.Var)
+			if !ok {
+				continue
+			}
+			if _, ok := v.Type().Underlying().(*types.Signature); ok {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// onceKey identifies "function fn invokes its idx-th parameter exactly
+// once on every path" in the package-local summary set.
+type onceKey struct {
+	fn  *types.Func
+	idx int
+}
+
+// invokesOnceSet computes the package-local exactly-once summaries by
+// fixpoint: a helper qualifies when its own paths invoke the parameter
+// exactly once — possibly by forwarding to an already-qualified helper —
+// so wrapper chains compose. Iteration is in declaration order and the
+// set only grows, so the fixpoint is deterministic.
+func invokesOnceSet(p *Package) map[onceKey]bool {
+	once := make(map[onceKey]bool)
+	bodies := flowBodies(p)
+	for changed := true; changed; {
+		changed = false
+		for _, fb := range bodies {
+			if fb.decl == nil {
+				continue // summaries are for named helpers only
+			}
+			fn, ok := p.Info.Defs[fb.decl.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			for _, v := range funcParams(p, fb.ftyp) {
+				k := onceKey{fn, paramIndex(fb.ftyp, v)}
+				if k.idx < 0 || once[k] {
+					continue
+				}
+				escaped, res := drainScan(fb, v, once)
+				if !escaped && res.reached && res.zero == nil && res.many == nil && res.one != nil {
+					once[k] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return once
+}
+
+// paramIndex returns v's flattened position in ftyp's parameter list.
+func paramIndex(ftyp *ast.FuncType, v *types.Var) int {
+	i := 0
+	for _, field := range ftyp.Params.List {
+		for _, name := range field.Names {
+			if name.Pos() == v.Pos() {
+				return i
+			}
+			i++
+		}
+	}
+	return -1
+}
+
+// drainCount is the per-path invocation state for one callback param:
+// first-wins witness traces for the pathsets with zero, one, and two-or-
+// more invocations so far. A nil trace means no such path reaches here.
+type drainCount struct {
+	zero, one, many *cfg.Trace
+}
+
+type drainResult struct {
+	zero, one, many *cfg.Trace
+	reached         bool
+}
+
+// drainScan classifies every use of v and, if none escapes, runs the
+// forward counting analysis over fb's CFG. escaped=true means the
+// obligation left this frame and the param is not judged here.
+func drainScan(fb funcBody, v *types.Var, once map[onceKey]bool) (escaped bool, res drainResult) {
+	parents := parentMap(fb.body)
+	bad := false
+	ast.Inspect(fb.body, func(n ast.Node) bool {
+		if bad {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || useVar(fb.p, id) != v {
+			return true
+		}
+		if drainUseKind(fb.p, parents, id, once) == drainEscape {
+			bad = true
+		}
+		return true
+	})
+	if bad {
+		return true, drainResult{}
+	}
+	g := fb.buildCFG()
+	prob := cfg.Problem[drainCount]{
+		Boundary: drainCount{zero: (*cfg.Trace)(nil).Extend("entry")},
+		Transfer: func(b *cfg.Block, s drainCount) drainCount {
+			out := s
+			for _, n := range b.Nodes {
+				for _, cp := range drainInvocationSites(fb.p, parents, n, v, once) {
+					step := fmt.Sprintf("call (%s)", shortPosAt(fb.p.Fset, cp))
+					if out.many == nil && out.one != nil {
+						out.many = out.one.Extend(step)
+					}
+					if out.zero != nil {
+						out.one = out.zero.Extend(step)
+					} else {
+						out.one = nil
+					}
+					out.zero = nil
+				}
+				if out.zero != nil && errorReturn(fb.p, n) {
+					out.zero = nil // the operation never started; caller sees the error
+				}
+			}
+			return out
+		},
+		EdgeTransfer: func(e *cfg.Edge, s drainCount) drainCount {
+			out := s
+			if nilGuardEdge(fb.p, e, v) {
+				out.zero = nil // callback proven nil: caller opted out
+			}
+			out.zero = extendLive(out.zero, fb.p.Fset, e)
+			out.one = extendLive(out.one, fb.p.Fset, e)
+			out.many = extendLive(out.many, fb.p.Fset, e)
+			return out
+		},
+		Join: func(dst, src drainCount) (drainCount, bool) {
+			changed := false
+			if src.zero != nil && dst.zero == nil {
+				dst.zero, changed = src.zero, true
+			}
+			if src.one != nil && dst.one == nil {
+				dst.one, changed = src.one, true
+			}
+			if src.many != nil && dst.many == nil {
+				dst.many, changed = src.many, true
+			}
+			return dst, changed
+		},
+	}
+	r := cfg.Forward(g, prob)
+	exit := g.Exit.Index
+	if !r.Reached[exit] {
+		return false, drainResult{}
+	}
+	s := r.In[exit]
+	return false, drainResult{zero: s.zero, one: s.one, many: s.many, reached: true}
+}
+
+// extendLive extends a trace across an edge only if the pathset is
+// alive — extending nil would resurrect a pathset the analysis killed.
+func extendLive(t *cfg.Trace, fset *token.FileSet, e *cfg.Edge) *cfg.Trace {
+	if t == nil {
+		return nil
+	}
+	return t.ExtendEdge(fset, e)
+}
+
+type drainUse int
+
+const (
+	drainNeutral drainUse = iota // comparison or qualified forwarding
+	drainInvoke
+	drainEscape
+)
+
+// drainUseKind classifies one identifier use of the callback.
+func drainUseKind(p *Package, parents map[ast.Node]ast.Node, id *ast.Ident, once map[onceKey]bool) drainUse {
+	if insideFuncLit(parents, id) {
+		return drainEscape
+	}
+	switch par := parents[id].(type) {
+	case *ast.BinaryExpr:
+		if isComparison(par.Op) {
+			return drainNeutral
+		}
+	case *ast.CallExpr:
+		if par.Fun == ast.Expr(id) {
+			return drainInvoke
+		}
+		for i, a := range par.Args {
+			if a != ast.Expr(id) {
+				continue
+			}
+			if fn := calleeFunc(p, par); fn != nil && once[onceKey{fn, i}] {
+				return drainInvoke // forwarded to a proven exactly-once helper
+			}
+		}
+	}
+	return drainEscape
+}
+
+// drainInvocationSites returns the positions of invocations of v inside
+// block node n, in source order.
+func drainInvocationSites(p *Package, parents map[ast.Node]ast.Node, n ast.Node, v *types.Var, once map[onceKey]bool) []token.Pos {
+	var sites []token.Pos
+	ast.Inspect(n, func(m ast.Node) bool {
+		id, ok := m.(*ast.Ident)
+		if !ok || useVar(p, id) != v {
+			return true
+		}
+		if drainUseKind(p, parents, id, once) == drainInvoke {
+			sites = append(sites, id.Pos())
+		}
+		return true
+	})
+	return sites
+}
+
+// errorReturn reports whether n is a return statement handing back a
+// freshly constructed error (fmt.Errorf or errors.New), the idiom for
+// "the operation never started, nothing to call back about".
+func errorReturn(p *Package, n ast.Node) bool {
+	ret, ok := n.(*ast.ReturnStmt)
+	if !ok {
+		return false
+	}
+	for _, r := range ret.Results {
+		found := false
+		ast.Inspect(r, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p, call)
+			if fn == nil {
+				return true
+			}
+			if fn.Name() == "Errorf" || (fn.Name() == "New" && fn.Pkg() != nil && fn.Pkg().Name() == "errors") {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// nilGuardEdge reports whether edge e proves callback v is nil: the
+// `v == nil` branch taken or the `v != nil` branch not taken.
+func nilGuardEdge(p *Package, e *cfg.Edge, v *types.Var) bool {
+	be, ok := e.Cond.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	isV := func(x ast.Expr) bool {
+		id, ok := x.(*ast.Ident)
+		return ok && useVar(p, id) == v
+	}
+	isNil := func(x ast.Expr) bool {
+		id, ok := x.(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	if !(isV(be.X) && isNil(be.Y) || isV(be.Y) && isNil(be.X)) {
+		return false
+	}
+	return (be.Op == token.EQL && e.Val) || (be.Op == token.NEQ && !e.Val)
+}

@@ -289,7 +289,42 @@ func TestFindingString(t *testing.T) {
 	if got, want := f.String(), "a/b.go:7: [detrand] msg"; got != want {
 		t.Fatalf("String() = %q, want %q", got, want)
 	}
-	if fmt.Sprint(len(Analyzers())) != "13" {
-		t.Fatalf("expected 13 analyzers, got %d", len(Analyzers()))
+	if fmt.Sprint(len(Analyzers())) != "17" {
+		t.Fatalf("expected 17 analyzers, got %d", len(Analyzers()))
 	}
+}
+
+// TestSpanleak pins the first CFG-backed pass: branch-dependent span
+// leaks fire with their block traces, every settling and excusing shape
+// stays silent, and the ignore directive works.
+func TestSpanleak(t *testing.T) {
+	runCase(t, "spanleak_bad", SpanleakAnalyzer)
+	runCase(t, "spanleak_good", SpanleakAnalyzer)
+	runCase(t, "spanleak_suppressed", SpanleakAnalyzer)
+}
+
+// TestTimerleak pins the dropped-handle pass: bound-but-forgotten
+// After/Every handles fire, fire-and-forget and every escape stay
+// silent.
+func TestTimerleak(t *testing.T) {
+	runCase(t, "timerleak_bad", TimerleakAnalyzer)
+	runCase(t, "timerleak_good", TimerleakAnalyzer)
+	runCase(t, "timerleak_suppressed", TimerleakAnalyzer)
+}
+
+// TestDrainpath pins the exactly-once callback contract, including the
+// invokesOnce summary composition (drainpath_good's Forwarded).
+func TestDrainpath(t *testing.T) {
+	runCase(t, "drainpath_bad", DrainpathAnalyzer)
+	runCase(t, "drainpath_good", DrainpathAnalyzer)
+	runCase(t, "drainpath_suppressed", DrainpathAnalyzer)
+}
+
+// TestLookahead pins the bound prover: unanchored delivery times fire
+// with their class diagnosis, every proof shape (direct, guarded raise,
+// addend helper, captured addend) stays silent.
+func TestLookahead(t *testing.T) {
+	runCase(t, "lookahead_bad", LookaheadAnalyzer)
+	runCase(t, "lookahead_good", LookaheadAnalyzer)
+	runCase(t, "lookahead_suppressed", LookaheadAnalyzer)
 }

@@ -1,0 +1,580 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"eslurm/internal/lint/cfg"
+)
+
+// LookaheadAnalyzer proves the conservative-lookahead contract at every
+// cross-cell ShardGroup.Send site: the delivery-time argument must be
+// bounded below by now+L — an engine Now() anchor plus a latency-class
+// addend — on the path reaching the call. The proof system is small and
+// explicit: Now() calls are "nowish" (≥ now), .Latency/.Lookahead
+// selector reads and addend-returning package helpers are "addends"
+// (≥ L under the model's non-negative-duration assumption), nowish +
+// addend is "bounded", and a comparison-guarded raise (`if x > bounded
+// { bounded = x }`) preserves the bound. Anything the prover cannot
+// anchor is a finding: an under-lookahead event would be delivered into
+// a cell's already-executed past, breaking cross-shard determinism.
+var LookaheadAnalyzer = &Analyzer{
+	Name: "lookahead",
+	Doc:  "require cross-cell ShardGroup.Send delivery times to be provably ≥ now+lookahead",
+	Run:  runLookahead,
+}
+
+func runLookahead(p *Package) []Finding {
+	if strings.HasSuffix(p.ImportPath, "internal/simnet") {
+		return nil // the shard engine itself schedules below the horizon by design
+	}
+	summaries := addendReturnSet(p)
+	var out []Finding
+	for _, file := range p.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			out = append(out, lookaheadDecl(p, fd, summaries)...)
+		}
+	}
+	return out
+}
+
+// lookaheadDecl analyzes one declaration: variable classification is
+// decl-wide (closures capture L and now-anchored locals across literal
+// boundaries), the bounded proof is flow-sensitive per body.
+func lookaheadDecl(p *Package, fd *ast.FuncDecl, summaries map[*types.Func]bool) []Finding {
+	name := fd.Name.Name
+	if obj, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+		name = qualifiedFuncName(obj)
+	}
+	sets := declClassSets(p, fd, summaries)
+	var out []Finding
+	bodies := []*ast.BlockStmt{fd.Body}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			bodies = append(bodies, lit.Body)
+		}
+		return true
+	})
+	for i, body := range bodies {
+		bname := name
+		if i > 0 {
+			bname += ".func"
+		}
+		out = append(out, lookaheadBody(p, bname, body, sets, summaries)...)
+	}
+	return out
+}
+
+// timeClass is the proof lattice for delivery-time expressions.
+type timeClass int
+
+const (
+	clsUnknown timeClass = iota
+	clsNowish            // ≥ now: an engine-clock anchor without the addend
+	clsAddend            // ≥ 0 offset of latency class, no now anchor
+	clsBounded           // ≥ now + lookahead: proven safe
+)
+
+func (c timeClass) String() string {
+	switch c {
+	case clsNowish:
+		return "only ≥ now, missing the lookahead addend"
+	case clsAddend:
+		return "a latency offset with no now anchor"
+	case clsBounded:
+		return "bounded"
+	}
+	return "unproven"
+}
+
+// addClass combines the classes of the operands of a +.
+func addClass(a, b timeClass) timeClass {
+	switch {
+	case a == clsBounded || b == clsBounded:
+		return clsBounded
+	case a == clsNowish && b == clsAddend || a == clsAddend && b == clsNowish:
+		return clsBounded
+	case a == clsAddend || b == clsAddend:
+		return clsAddend // non-negative durations: an addend survives any +
+	case a == clsNowish || b == clsNowish:
+		return clsNowish
+	}
+	return clsUnknown
+}
+
+// classSets is the decl-wide flow-insensitive var classification: a var
+// is in a set iff every definition anywhere in the declaration —
+// closures included — classifies accordingly.
+type classSets struct {
+	nowish, addend map[*types.Var]bool
+}
+
+// classify resolves expr's class under sets plus the flow-sensitive
+// bounded set (nil when classifying decl-level definitions).
+func classify(p *Package, expr ast.Expr, sets classSets, bounded map[*types.Var]bool, summaries map[*types.Func]bool) timeClass {
+	switch e := expr.(type) {
+	case *ast.ParenExpr:
+		return classify(p, e.X, sets, bounded, summaries)
+	case *ast.CallExpr:
+		fn := calleeFunc(p, e)
+		if fn == nil {
+			return clsUnknown
+		}
+		if fn.Name() == "Now" {
+			return clsNowish
+		}
+		if summaries[fn] {
+			return clsAddend
+		}
+		return clsUnknown
+	case *ast.SelectorExpr:
+		if e.Sel.Name == "Latency" || e.Sel.Name == "Lookahead" {
+			return clsAddend
+		}
+		return clsUnknown
+	case *ast.Ident:
+		v := useVar(p, e)
+		if v == nil {
+			return clsUnknown
+		}
+		switch {
+		case bounded != nil && bounded[v]:
+			return clsBounded
+		case sets.addend[v]:
+			return clsAddend
+		case sets.nowish[v]:
+			return clsNowish
+		}
+		return clsUnknown
+	case *ast.BinaryExpr:
+		if e.Op != token.ADD {
+			return clsUnknown
+		}
+		return addClass(
+			classify(p, e.X, sets, bounded, summaries),
+			classify(p, e.Y, sets, bounded, summaries),
+		)
+	}
+	return clsUnknown
+}
+
+// timeDef is one definition site of a local: either a plain expression
+// or a self-add (`v += x`, `v++`), whose class folds the var's own.
+type timeDef struct {
+	x       ast.Expr // nil for IncDec
+	selfAdd bool
+}
+
+// declClassSets computes the decl-wide nowish/addend var sets by growing
+// fixpoint: monotone (sets only grow, and "all defs classify" can only
+// become true), so the result is order-independent.
+func declClassSets(p *Package, fd *ast.FuncDecl, summaries map[*types.Func]bool) classSets {
+	defs := make(map[*types.Var][]timeDef)
+	var order []*types.Var
+	record := func(v *types.Var, d timeDef, poison bool) {
+		if v == nil {
+			return
+		}
+		if _, seen := defs[v]; !seen {
+			order = append(order, v)
+		}
+		if poison {
+			defs[v] = append(defs[v], timeDef{})
+			return
+		}
+		defs[v] = append(defs[v], d)
+	}
+	// Parameters, receivers, and named results arrive with unknowable
+	// values: poison them so the self-add assumption below stays sound
+	// (a `d += x` def may assume d's candidate class only when every
+	// *initial* binding of d is also on record).
+	poisonFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, nm := range field.Names {
+				if v, ok := p.Info.Defs[nm].(*types.Var); ok {
+					record(v, timeDef{}, true)
+				}
+			}
+		}
+	}
+	poisonFields(fd.Recv)
+	poisonFields(fd.Type.Params)
+	poisonFields(fd.Type.Results)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			poisonFields(s.Type.Params)
+			poisonFields(s.Type.Results)
+		case *ast.AssignStmt:
+			if len(s.Lhs) != len(s.Rhs) {
+				for _, lhs := range s.Lhs {
+					record(lhsLocalVar(p, lhs), timeDef{}, true)
+				}
+				return true
+			}
+			for i, lhs := range s.Lhs {
+				v := lhsLocalVar(p, lhs)
+				switch s.Tok {
+				case token.ASSIGN, token.DEFINE:
+					record(v, timeDef{x: s.Rhs[i]}, false)
+				case token.ADD_ASSIGN:
+					record(v, timeDef{x: s.Rhs[i], selfAdd: true}, false)
+				default:
+					record(v, timeDef{}, true)
+				}
+			}
+		case *ast.IncDecStmt:
+			if s.Tok == token.INC {
+				record(lhsLocalVar(p, s.X), timeDef{selfAdd: true}, false)
+			} else {
+				record(lhsLocalVar(p, s.X), timeDef{}, true)
+			}
+		case *ast.RangeStmt:
+			record(lhsLocalVar(p, s.Key), timeDef{}, true)
+			record(lhsLocalVar(p, s.Value), timeDef{}, true)
+		case *ast.ValueSpec:
+			if len(s.Values) == len(s.Names) {
+				for i, name := range s.Names {
+					v, _ := p.Info.Defs[name].(*types.Var)
+					record(v, timeDef{x: s.Values[i]}, false)
+				}
+			} else {
+				for _, name := range s.Names {
+					v, _ := p.Info.Defs[name].(*types.Var)
+					record(v, timeDef{}, true)
+				}
+			}
+		}
+		return true
+	})
+	sets := classSets{nowish: map[*types.Var]bool{}, addend: map[*types.Var]bool{}}
+	// defClass evaluates one def under the coinductive assumption that v
+	// itself already has the candidate class `want` — sound because every
+	// initial binding (params, poisoned forms) is a recorded def, so a
+	// pure self-add cycle cannot bootstrap a class from nothing.
+	defClass := func(d timeDef, want timeClass) timeClass {
+		var c timeClass
+		if d.x != nil {
+			c = classify(p, d.x, sets, nil, summaries)
+		}
+		if d.selfAdd {
+			c = addClass(want, c)
+		} else if d.x == nil {
+			c = clsUnknown
+		}
+		return c
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, v := range order {
+			ds := defs[v]
+			all := func(want timeClass) bool {
+				for _, d := range ds {
+					if defClass(d, want) != want {
+						return false
+					}
+				}
+				return len(ds) > 0
+			}
+			if !sets.addend[v] && all(clsAddend) {
+				sets.addend[v] = true
+				changed = true
+			}
+			if !sets.nowish[v] && all(clsNowish) {
+				sets.nowish[v] = true
+				changed = true
+			}
+		}
+	}
+	return sets
+}
+
+func lhsLocalVar(p *Package, e ast.Expr) *types.Var {
+	if e == nil {
+		return nil
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if v, ok := p.Info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	return useVar(p, id)
+}
+
+// addendReturnSet computes which package-local single-result functions
+// always return an addend-class value — the TransferTime shape: `return
+// cfg.Latency + ser`. Grown to fixpoint so addend helpers may call each
+// other.
+func addendReturnSet(p *Package) map[*types.Func]bool {
+	summaries := make(map[*types.Func]bool)
+	for changed := true; changed; {
+		changed = false
+		for _, file := range p.Files {
+			for _, d := range file.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || fd.Type.Results == nil {
+					continue
+				}
+				if len(fd.Type.Results.List) != 1 || len(fd.Type.Results.List[0].Names) > 1 {
+					continue
+				}
+				fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+				if !ok || summaries[fn] {
+					continue
+				}
+				sets := declClassSets(p, fd, summaries)
+				if allReturnsAddend(p, fd, sets, summaries) {
+					summaries[fn] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return summaries
+}
+
+func allReturnsAddend(p *Package, fd *ast.FuncDecl, sets classSets, summaries map[*types.Func]bool) bool {
+	ok, any := true, false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			any = true
+			if len(s.Results) != 1 || classify(p, s.Results[0], sets, nil, summaries) != clsAddend {
+				ok = false
+			}
+		}
+		return true
+	})
+	return ok && any
+}
+
+// boundState is the flow-sensitive must-state: the set of vars proven
+// ≥ now+lookahead at this point on every path.
+type boundState struct {
+	live bool
+	vars map[*types.Var]bool
+}
+
+func (s boundState) clone() boundState {
+	out := boundState{live: true, vars: make(map[*types.Var]bool, len(s.vars))}
+	for v := range s.vars {
+		out.vars[v] = true
+	}
+	return out
+}
+
+// lookaheadBody runs the bounded must-analysis over one body and judges
+// its Send sites at their program points.
+func lookaheadBody(p *Package, name string, body *ast.BlockStmt, sets classSets, summaries map[*types.Func]bool) []Finding {
+	sites := sendSites(p, body)
+	if len(sites) == 0 {
+		return nil
+	}
+	g := cfg.New(name, body)
+	prob := cfg.Problem[boundState]{
+		Boundary: boundState{live: true, vars: map[*types.Var]bool{}},
+		Transfer: func(b *cfg.Block, s boundState) boundState {
+			out := s.clone()
+			for _, n := range b.Nodes {
+				applyBoundDefs(p, n, &out, sets, summaries)
+			}
+			return out
+		},
+		EdgeTransfer: func(e *cfg.Edge, s boundState) boundState {
+			raised := raisedVar(p, e, s.vars)
+			if raised == nil {
+				return s
+			}
+			out := s.clone()
+			out.vars[raised] = true
+			return out
+		},
+		Join: func(dst, src boundState) (boundState, bool) {
+			if !dst.live {
+				return src.clone(), true
+			}
+			changed := false
+			for v := range dst.vars {
+				if !src.vars[v] {
+					delete(dst.vars, v)
+					changed = true
+				}
+			}
+			return dst, changed
+		},
+	}
+	res := cfg.Forward(g, prob)
+	var out []Finding
+	for _, b := range g.Blocks {
+		if !res.Reached[b.Index] {
+			continue
+		}
+		state := res.In[b.Index].clone()
+		for _, n := range b.Nodes {
+			for _, site := range sitesIn(sites, n) {
+				c := classify(p, site.Args[2], sets, state.vars, summaries)
+				if c == clsBounded {
+					continue
+				}
+				path := cfg.WitnessPath(g, b, func(*cfg.Edge) bool { return true })
+				out = append(out, Finding{p.Fset.Position(site.Pos()), "lookahead",
+					fmt.Sprintf("cross-cell Send in %s cannot prove delivery time `%s` ≥ now+lookahead (it is %s) on path: %s; an under-lookahead event lands in the destination cell's already-executed past and breaks cross-shard determinism",
+						name, types.ExprString(site.Args[2]), c, cfg.RenderPath(p.Fset, path))})
+			}
+			applyBoundDefs(p, n, &state, sets, summaries)
+		}
+	}
+	return out
+}
+
+// sendSites collects the ShardGroup.Send calls in body's own statements.
+func sendSites(p *Package, body *ast.BlockStmt) []*ast.CallExpr {
+	var out []*ast.CallExpr
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(p, call)
+		if fn != nil && fn.Name() == "Send" && recvTypeName(fn) == "ShardGroup" && len(call.Args) >= 3 {
+			out = append(out, call)
+		}
+		return true
+	})
+	return out
+}
+
+// sitesIn returns the collected sites syntactically inside block node n.
+func sitesIn(sites []*ast.CallExpr, n ast.Node) []*ast.CallExpr {
+	var out []*ast.CallExpr
+	for _, s := range sites {
+		if s.Pos() >= n.Pos() && s.End() <= n.End() {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// applyBoundDefs updates the bounded set for the definitions in one
+// block node: a var assigned a bounded-class expression joins the set,
+// any other redefinition leaves it.
+func applyBoundDefs(p *Package, n ast.Node, s *boundState, sets classSets, summaries map[*types.Func]bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch a := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			if len(a.Lhs) != len(a.Rhs) {
+				for _, lhs := range a.Lhs {
+					if v := lhsLocalVar(p, lhs); v != nil {
+						delete(s.vars, v)
+					}
+				}
+				return true
+			}
+			for i, lhs := range a.Lhs {
+				v := lhsLocalVar(p, lhs)
+				if v == nil {
+					continue
+				}
+				var c timeClass
+				switch a.Tok {
+				case token.ASSIGN, token.DEFINE:
+					c = classify(p, a.Rhs[i], sets, s.vars, summaries)
+				case token.ADD_ASSIGN:
+					var self timeClass
+					if s.vars[v] {
+						self = clsBounded
+					} else if sets.addend[v] {
+						self = clsAddend
+					} else if sets.nowish[v] {
+						self = clsNowish
+					}
+					c = addClass(self, classify(p, a.Rhs[i], sets, s.vars, summaries))
+				}
+				if c == clsBounded {
+					s.vars[v] = true
+				} else {
+					delete(s.vars, v)
+				}
+			}
+		case *ast.IncDecStmt:
+			if v := lhsLocalVar(p, a.X); v != nil && a.Tok == token.DEC {
+				delete(s.vars, v) // v-- may drop below the bound
+			}
+		case *ast.RangeStmt:
+			for _, e := range []ast.Expr{a.Key, a.Value} {
+				if v := lhsLocalVar(p, e); v != nil {
+					delete(s.vars, v)
+				}
+			}
+			return false
+		}
+		return true
+	})
+}
+
+// raisedVar implements the conditional-raise refinement: crossing an
+// edge that proves `x ≥ v` for some already-bounded v makes x bounded
+// too (`if timeoutAt > failAt { failAt = timeoutAt }`). Returns the
+// newly provable var, or nil.
+func raisedVar(p *Package, e *cfg.Edge, bounded map[*types.Var]bool) *types.Var {
+	be, ok := e.Cond.(*ast.BinaryExpr)
+	if !ok {
+		return nil
+	}
+	varOf := func(x ast.Expr) *types.Var {
+		id, ok := x.(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		return useVar(p, id)
+	}
+	x, y := varOf(be.X), varOf(be.Y)
+	if x == nil || y == nil {
+		return nil
+	}
+	op := be.Op
+	if !e.Val { // the branch where the comparison is false: negate it
+		switch op {
+		case token.GTR:
+			op = token.LEQ
+		case token.GEQ:
+			op = token.LSS
+		case token.LSS:
+			op = token.GEQ
+		case token.LEQ:
+			op = token.GTR
+		default:
+			return nil
+		}
+	}
+	switch op {
+	case token.GTR, token.GEQ: // x ≥ y
+		if bounded[y] && !bounded[x] {
+			return x
+		}
+	case token.LSS, token.LEQ: // x ≤ y, i.e. y ≥ x
+		if bounded[x] && !bounded[y] {
+			return y
+		}
+	}
+	return nil
+}

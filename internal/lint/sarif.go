@@ -45,7 +45,7 @@ func WriteSARIF(w io.Writer, findings []Finding, analyzers []*Analyzer, baseDir 
 		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
 		Version: "2.1.0",
 		Runs: []sarifRun{{
-			Tool:    sarifTool{Driver: sarifDriver{Name: "eslurmlint", Rules: rules}},
+			Tool:    sarifTool{Driver: sarifDriver{Name: "eslurmlint", Version: SchemaVersion, Rules: rules}},
 			Results: results,
 		}},
 	}
@@ -76,8 +76,9 @@ type sarifTool struct {
 }
 
 type sarifDriver struct {
-	Name  string      `json:"name"`
-	Rules []sarifRule `json:"rules"`
+	Name    string      `json:"name"`
+	Version string      `json:"version"`
+	Rules   []sarifRule `json:"rules"`
 }
 
 type sarifRule struct {

@@ -1,0 +1,220 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"eslurm/internal/lint/cfg"
+)
+
+// SpanleakAnalyzer is the first flow-sensitive pass: a span ID obtained
+// from Tracer.Start (matched structurally on a receiver type named
+// Tracer, like the taint pass's Engine matching) must reach a
+// Tracer.End on every path out of the function, or visibly escape the
+// intra-procedural frame — captured by a closure, stored, returned, or
+// handed to a non-Tracer call — in which case the escapee owns the
+// close. Instant needs no End, and paths on which the handle is proven
+// zero (`id == 0`, i.e. the nil-receiver-safe tracer) are excluded by
+// branch refinement, as are paths where the tracer itself is
+// nil-checked. A span left open corrupts the Chrome-trace export's
+// nesting for every span after it, which is why the finding prints the
+// exact branch-by-branch path that skips the End.
+var SpanleakAnalyzer = &Analyzer{
+	Name: "spanleak",
+	Doc:  "require every Tracer.Start span to be Ended (or escape to its closer) on all paths",
+	Run:  runSpanleak,
+}
+
+// spanOrigin is one tracked `v := tr.Start(...)` site.
+type spanOrigin struct {
+	assign *ast.AssignStmt
+	call   *ast.CallExpr
+	v      *types.Var
+	recv   *types.Var // the tracer variable, when the receiver is a plain ident
+	label  string
+}
+
+func runSpanleak(p *Package) []Finding {
+	if strings.HasSuffix(p.ImportPath, "internal/obs") {
+		return nil // the tracer implementation itself
+	}
+	var out []Finding
+	for _, fb := range flowBodies(p) {
+		out = append(out, spanleakBody(fb)...)
+	}
+	return out
+}
+
+func spanleakBody(fb funcBody) []Finding {
+	origins := spanOrigins(fb)
+	if len(origins) == 0 {
+		return nil
+	}
+	g := fb.buildCFG()
+	parents := parentMap(fb.body)
+	var out []Finding
+	for _, o := range origins {
+		o := o
+		trace := scanOpenPath(fb.p.Fset, g, o.assign,
+			fmt.Sprintf("Start (%s)", shortPosAt(fb.p.Fset, o.call.Pos())),
+			func(n ast.Node) bool { return spanSettles(fb.p, parents, n, o.v) },
+			func(e *cfg.Edge) bool { return spanNilsafeEdge(fb.p, e, o.v, o.recv) },
+		)
+		if trace == nil {
+			continue
+		}
+		label := o.label
+		if label == "" {
+			label = o.v.Name()
+		}
+		out = append(out, Finding{fb.p.Fset.Position(o.call.Pos()), "spanleak",
+			fmt.Sprintf("span %q may reach an exit of %s without End on path: %s; every Start needs a reachable End on all paths (Instant needs none) — an unclosed span corrupts the trace export's nesting",
+				label, fb.name, trace)})
+	}
+	return out
+}
+
+// spanOrigins finds the tracked Start assignments in the body's own
+// statements (function literals are separate bodies).
+func spanOrigins(fb funcBody) []spanOrigin {
+	var out []spanOrigin
+	ast.Inspect(fb.body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(fb.p, call)
+		if fn == nil || fn.Name() != "Start" || recvTypeName(fn) != "Tracer" {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		v := lhsVarOf(fb.p, id)
+		if v == nil {
+			return true
+		}
+		o := spanOrigin{assign: as, call: call, v: v, label: spanLabelArg(call)}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if rid, ok := sel.X.(*ast.Ident); ok {
+				o.recv = useVar(fb.p, rid)
+			}
+		}
+		out = append(out, o)
+		return true
+	})
+	return out
+}
+
+// lhsVarOf resolves an assignment target identifier whether it defines
+// (:=) or reuses (=) the variable.
+func lhsVarOf(p *Package, id *ast.Ident) *types.Var {
+	if v, ok := p.Info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	return useVar(p, id)
+}
+
+// spanSettles reports whether node n settles span variable v: an End
+// call terminates it; any escape (capture, store, return, argument to a
+// non-Tracer call, rebinding) transfers ownership out of this frame.
+// The only non-settling uses are comparisons and arguments to other
+// Tracer methods (Start-as-parent, SetAttr, SetAttrInt, Instant), which
+// merely annotate.
+func spanSettles(p *Package, parents map[ast.Node]ast.Node, n ast.Node, v *types.Var) bool {
+	settled := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if settled {
+			return false
+		}
+		id, ok := m.(*ast.Ident)
+		if !ok || useVar(p, id) != v && defVarOf(p, id) != v {
+			return true
+		}
+		if spanUseSettles(p, parents, id, v) {
+			settled = true
+			return false
+		}
+		return true
+	})
+	return settled
+}
+
+func defVarOf(p *Package, id *ast.Ident) *types.Var {
+	v, _ := p.Info.Defs[id].(*types.Var)
+	return v
+}
+
+func spanUseSettles(p *Package, parents map[ast.Node]ast.Node, id *ast.Ident, v *types.Var) bool {
+	if insideFuncLit(parents, id) {
+		return true // capture: the closure owns the close now
+	}
+	switch par := parents[id].(type) {
+	case *ast.BinaryExpr:
+		if isComparison(par.Op) {
+			return false // guard, not a consumption
+		}
+	case *ast.CallExpr:
+		for _, a := range par.Args {
+			if a == ast.Expr(id) {
+				fn := calleeFunc(p, par)
+				if recvTypeName(fn) == "Tracer" {
+					// End settles; sibling Tracer methods only annotate.
+					return fn.Name() == "End"
+				}
+				return true // handed to arbitrary code: escape
+			}
+		}
+	case *ast.AssignStmt:
+		// Appearing on either side of a later assignment settles it:
+		// LHS is a rebind (old handle's lifecycle is over), RHS a store.
+		return true
+	}
+	// Returns, composite literals, index expressions, address-of, …:
+	// every remaining use is an escape; the benefit of the doubt keeps
+	// the pass quiet rather than wrong.
+	return true
+}
+
+// spanNilsafeEdge reports whether edge e proves the span cannot leak on
+// this path: the handle is zero (`id == 0` — Start on a nil Tracer
+// returns 0 and End(0) is a no-op) or the tracer itself is nil.
+func spanNilsafeEdge(p *Package, e *cfg.Edge, v, recv *types.Var) bool {
+	be, ok := e.Cond.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	matches := func(x ast.Expr, target *types.Var) bool {
+		id, ok := x.(*ast.Ident)
+		return ok && target != nil && useVar(p, id) == target
+	}
+	isZero := func(x ast.Expr) bool {
+		lit, ok := x.(*ast.BasicLit)
+		return ok && lit.Value == "0"
+	}
+	isNil := func(x ast.Expr) bool {
+		id, ok := x.(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	switch {
+	case matches(be.X, v) && isZero(be.Y), matches(be.Y, v) && isZero(be.X):
+		// span id compared to zero
+	case matches(be.X, recv) && isNil(be.Y), matches(be.Y, recv) && isNil(be.X):
+		// tracer compared to nil
+	default:
+		return false
+	}
+	// `== 0`/`== nil` taken, or `!= 0`/`!= nil` not taken.
+	return (be.Op == token.EQL && e.Val) || (be.Op == token.NEQ && !e.Val)
+}

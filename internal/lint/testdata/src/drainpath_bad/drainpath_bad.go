@@ -1,0 +1,40 @@
+//eslurmlint:testpath eslurm/internal/satellite
+
+// Package drainpath_bad pins drainpath firing on both halves of the
+// exactly-once contract: the skipped callback and the double invoke,
+// each with the path trace that proves it.
+package drainpath_bad
+
+// SkipOnBusy forgets the callback on the busy path: the caller waits
+// forever for a completion that never comes.
+func SkipOnBusy(busy bool, done func(clean bool)) { // want "callback \"done\" in drainpath_bad.SkipOnBusy may never be invoked on path: entry -> `busy`=true (drainpath_bad.go:11) -> return"
+	if busy {
+		return
+	}
+	done(true)
+}
+
+// DoubleOnTimeout settles the drain once inline and again on the
+// timeout arm — the double-demote shape.
+func DoubleOnTimeout(timeout bool, done func(clean bool)) { // want "callback \"done\" in drainpath_bad.DoubleOnTimeout may be invoked more than once on path: entry -> call (drainpath_bad.go:20) -> `timeout`=true (drainpath_bad.go:21) -> call (drainpath_bad.go:22)"
+	done(true)
+	if timeout {
+		done(false)
+	}
+}
+
+// forwardTwice is judged on its own body too: helpers get the same
+// exactly-once contract (and failing it disqualifies them as summaries,
+// so callers forwarding into them see an escape, not an invocation).
+func forwardTwice(cb func(clean bool)) { // want "callback \"cb\" in drainpath_bad.forwardTwice may be invoked more than once on path: entry -> call (drainpath_bad.go:30) -> call (drainpath_bad.go:31)"
+	cb(true)
+	cb(true)
+}
+
+// LoopInvoke calls the callback once per element: two iterations is a
+// double invoke.
+func LoopInvoke(ids []int, done func(clean bool)) { // want "callback \"done\" in drainpath_bad.LoopInvoke may be invoked more than once on path: entry -> call (drainpath_bad.go:38) -> range next -> call (drainpath_bad.go:38) -> range done"
+	for range ids {
+		done(true)
+	}
+}

@@ -1,0 +1,63 @@
+//eslurmlint:testpath eslurm/internal/reconcile
+
+// Package drainpath_good pins the shapes drainpath must accept:
+// exactly-once on every arm, nil-guard opt-outs, error-return excuses,
+// ownership escapes, and forwarding through a proven exactly-once
+// helper.
+package drainpath_good
+
+import "errors"
+
+type pending struct{ done func(clean bool) }
+
+// OnceBothArms invokes on every path.
+func OnceBothArms(clean bool, done func(clean bool)) {
+	if clean {
+		done(true)
+		return
+	}
+	done(false)
+}
+
+// NilGuard is the caller opt-out: the nil path owes nothing.
+func NilGuard(done func(clean bool)) {
+	if done == nil {
+		return
+	}
+	done(true)
+}
+
+// NilGuardInline wraps the single invocation in the positive guard.
+func NilGuardInline(done func(clean bool)) {
+	if done != nil {
+		done(true)
+	}
+}
+
+// ErrorExcuse returns a fresh error instead of invoking: the operation
+// never started and the caller learns it synchronously.
+func ErrorExcuse(known bool, done func(clean bool)) error {
+	if !known {
+		return errors.New("reconcile: unknown satellite")
+	}
+	done(true)
+	return nil
+}
+
+// StoreEscape transfers the obligation to the pending record's owner.
+func StoreEscape(done func(clean bool)) *pending {
+	return &pending{done: done}
+}
+
+// fireOnce is a proven exactly-once helper: nil-guarded single call.
+func fireOnce(cb func(clean bool)) {
+	if cb != nil {
+		cb(true)
+	}
+}
+
+// Forwarded routes its callback through fireOnce, which the summary
+// fixpoint certifies, so this counts as the one invocation.
+func Forwarded(done func(clean bool)) {
+	fireOnce(done)
+}

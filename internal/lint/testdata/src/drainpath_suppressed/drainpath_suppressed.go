@@ -1,0 +1,16 @@
+//eslurmlint:testpath eslurm/internal/satellite
+
+// Package drainpath_suppressed pins that a drainpath finding is
+// silenced by an ignore directive with a reason at the function.
+package drainpath_suppressed
+
+// BestEffortNotify drops the callback when the pool is already torn
+// down; callers treat the notification as best-effort by contract.
+//
+//eslurmlint:ignore drainpath teardown notifications are best-effort by documented contract; callers poll Drained() as the source of truth
+func BestEffortNotify(tornDown bool, done func(clean bool)) {
+	if tornDown {
+		return
+	}
+	done(true)
+}

@@ -1,0 +1,47 @@
+//eslurmlint:testpath eslurm/internal/lookahead_bad
+
+// Package lookahead_bad pins lookahead firing on cross-cell sends whose
+// delivery time has no provable now+lookahead lower bound.
+package lookahead_bad
+
+// ShardGroup mimics the simnet cross-cell scheduling surface.
+type ShardGroup struct{}
+
+func (g *ShardGroup) Send(src, dst int, at int64, fn func()) {}
+
+// Cell mimics a per-cell engine clock.
+type Cell struct{}
+
+func (c *Cell) Now() int64 { return 0 }
+
+// Config carries the latency the lookahead is derived from.
+type Config struct{ Latency int64 }
+
+// BareNow schedules at the current instant: below the horizon by
+// definition.
+func BareNow(g *ShardGroup, c *Cell, dst int) {
+	g.Send(0, dst, c.Now(), func() {}) // want "cross-cell Send in lookahead_bad.BareNow cannot prove delivery time `c.Now()` ≥ now+lookahead (it is only ≥ now, missing the lookahead addend)"
+}
+
+// UnknownDelay adds an unproven delay: d could be zero, so the bound
+// does not hold.
+func UnknownDelay(g *ShardGroup, c *Cell, dst int, d int64) {
+	now := c.Now()
+	g.Send(0, dst, now+d, func() {}) // want "cross-cell Send in lookahead_bad.UnknownDelay cannot prove delivery time `now + d` ≥ now+lookahead (it is only ≥ now, missing the lookahead addend)"
+}
+
+// BoundedOnOneArmOnly proves the bound on the slow path but not the
+// rushed one, and the must-analysis rejects the merge.
+func BoundedOnOneArmOnly(g *ShardGroup, c *Cell, cfg Config, dst int, d int64, rush bool) {
+	at := c.Now() + cfg.Latency
+	if rush {
+		at = c.Now() + d
+	}
+	g.Send(0, dst, at, func() {}) // want "cross-cell Send in lookahead_bad.BoundedOnOneArmOnly cannot prove delivery time `at` ≥ now+lookahead (it is unproven) on path: entry -> `rush`=false"
+}
+
+// AddendAlone has the offset but no clock anchor: an absolute time of
+// +Latency is in the simulation's distant past.
+func AddendAlone(g *ShardGroup, cfg Config, dst int) {
+	g.Send(0, dst, cfg.Latency, func() {}) // want "cross-cell Send in lookahead_bad.AddendAlone cannot prove delivery time `cfg.Latency` ≥ now+lookahead (it is a latency offset with no now anchor)"
+}

@@ -1,0 +1,68 @@
+//eslurmlint:testpath eslurm/internal/lookahead_good
+
+// Package lookahead_good pins the proof shapes lookahead must accept:
+// direct now+latency, guarded raises, addend-returning helpers, and
+// closure-captured addends.
+package lookahead_good
+
+// ShardGroup mimics the simnet cross-cell scheduling surface.
+type ShardGroup struct{}
+
+func (g *ShardGroup) Send(src, dst int, at int64, fn func()) {}
+
+// Cell mimics a per-cell engine clock.
+type Cell struct{}
+
+func (c *Cell) Now() int64 { return 0 }
+
+// Config carries the latency the lookahead is derived from.
+type Config struct{ Latency int64 }
+
+// DirectBound is the canonical anchored send.
+func DirectBound(g *ShardGroup, c *Cell, cfg Config, dst int) {
+	g.Send(0, dst, c.Now()+cfg.Latency, func() {})
+}
+
+// ViaLocal binds the bound to a local first.
+func ViaLocal(g *ShardGroup, c *Cell, cfg Config, dst int) {
+	at := c.Now() + cfg.Latency
+	g.Send(0, dst, at, func() {})
+}
+
+// GuardedRaise is the deadline-raising idiom: the comparison on the
+// taken branch proves the raised value keeps the bound.
+func GuardedRaise(g *ShardGroup, c *Cell, cfg Config, dst int, deadline int64) {
+	failAt := c.Now() + cfg.Latency
+	if deadline > failAt {
+		failAt = deadline
+	}
+	g.Send(0, dst, failAt, func() {})
+}
+
+// transfer is an addend-returning helper: latency plus a non-negative
+// serialization cost, the TransferTime shape.
+func transfer(cfg Config, size int64) int64 {
+	ser := size / 8
+	return cfg.Latency + ser
+}
+
+// ViaHelper anchors the helper's addend on the clock.
+func ViaHelper(g *ShardGroup, c *Cell, cfg Config, dst int, size int64) {
+	g.Send(0, dst, c.Now()+transfer(cfg, size), func() {})
+}
+
+// CapturedAddend proves through a closure boundary: L is classified
+// decl-wide, so the literal's send still sees the addend.
+func CapturedAddend(g *ShardGroup, c *Cell, cfg Config, dst int) func() {
+	L := cfg.Latency
+	return func() {
+		g.Send(0, dst, c.Now()+L, func() {})
+	}
+}
+
+// AccumulatedAddend grows an addend with += and keeps its class.
+func AccumulatedAddend(g *ShardGroup, c *Cell, cfg Config, dst int, hops int64) {
+	d := cfg.Latency
+	d += cfg.Latency * hops
+	g.Send(0, dst, c.Now()+d, func() {})
+}

@@ -1,0 +1,22 @@
+//eslurmlint:testpath eslurm/internal/lookahead_suppressed
+
+// Package lookahead_suppressed pins that a lookahead finding is
+// silenced by an ignore directive with a reason at the Send site.
+package lookahead_suppressed
+
+// ShardGroup mimics the simnet cross-cell scheduling surface.
+type ShardGroup struct{}
+
+func (g *ShardGroup) Send(src, dst int, at int64, fn func()) {}
+
+// Cell mimics a per-cell engine clock.
+type Cell struct{}
+
+func (c *Cell) Now() int64 { return 0 }
+
+// ModelInvariantBound relies on an out-of-band invariant (d ≥ latency by
+// construction) the prover cannot see.
+func ModelInvariantBound(g *ShardGroup, c *Cell, dst int, d int64) {
+	//eslurmlint:ignore lookahead d is scaled from TransferTime which is >= Latency by model invariant; the prover cannot see through the scaling helper
+	g.Send(0, dst, c.Now()+d, func() {})
+}

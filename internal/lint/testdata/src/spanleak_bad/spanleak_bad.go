@@ -1,0 +1,33 @@
+//eslurmlint:testpath eslurm/internal/spanleak_bad
+
+// Package spanleak_bad pins spanleak firing on branch-dependent span
+// leaks, with the exact multi-block path traces the messages carry.
+package spanleak_bad
+
+// Tracer mimics the obs tracing surface.
+type Tracer struct{}
+
+func (t *Tracer) Start(name string, parent uint64) uint64 { return 1 }
+func (t *Tracer) End(id uint64)                           {}
+func (t *Tracer) Instant(name string)                     {}
+func (t *Tracer) SetAttr(id uint64, k, v string)          {}
+
+// LeakOnEarlyReturn Ends only on the happy path.
+func LeakOnEarlyReturn(tr *Tracer, fail bool) {
+	sp := tr.Start("work", 0) // want "span \"work\" may reach an exit of spanleak_bad.LeakOnEarlyReturn without End on path: Start (spanleak_bad.go:17) -> `fail`=true (spanleak_bad.go:18) -> return"
+	if fail {
+		return
+	}
+	tr.End(sp)
+}
+
+// LeakOnOneCase Ends in one switch arm but not the default.
+func LeakOnOneCase(tr *Tracer, mode int) {
+	sp := tr.Start("dispatch", 0) // want "span \"dispatch\" may reach an exit of spanleak_bad.LeakOnOneCase without End on path: Start (spanleak_bad.go:26) -> default"
+	switch mode {
+	case 1:
+		tr.End(sp)
+	default:
+		tr.Instant("skipped")
+	}
+}

@@ -1,0 +1,94 @@
+//eslurmlint:testpath eslurm/internal/spanleak_good
+
+// Package spanleak_good pins the settling and excusing rules spanleak
+// must stay silent on: straight-line End, escapes, nil-safe regimes,
+// rebinding, and annotation-only uses.
+package spanleak_good
+
+// Tracer mimics the obs tracing surface.
+type Tracer struct{}
+
+func (t *Tracer) Start(name string, parent uint64) uint64 { return 1 }
+func (t *Tracer) End(id uint64)                           {}
+func (t *Tracer) Instant(name string)                     {}
+func (t *Tracer) SetAttr(id uint64, k, v string)          {}
+
+type job struct{ span uint64 }
+
+func finish(id uint64) {}
+
+// StraightLine is the canonical Start/annotate/End shape.
+func StraightLine(tr *Tracer, hot bool) {
+	sp := tr.Start("work", 0)
+	if hot {
+		tr.SetAttr(sp, "hot", "true")
+	}
+	tr.End(sp)
+}
+
+// ZeroGuard exits early only when the handle is proven zero (the
+// nil-receiver tracer), which cannot leak.
+func ZeroGuard(tr *Tracer) {
+	sp := tr.Start("work", 0)
+	if sp == 0 {
+		return
+	}
+	tr.End(sp)
+}
+
+// NilRecvGuard Ends only under the tracer nil-check, the obs-layer
+// calling convention.
+func NilRecvGuard(tr *Tracer) {
+	sp := tr.Start("work", 0)
+	if tr != nil {
+		tr.End(sp)
+	}
+}
+
+// CaptureEscape hands the close to a deferred closure.
+func CaptureEscape(tr *Tracer) func() {
+	sp := tr.Start("work", 0)
+	return func() { tr.End(sp) }
+}
+
+// StoreEscape parks the span on its job; the job's completion owns the
+// End.
+func StoreEscape(tr *Tracer, j *job) {
+	sp := tr.Start("task", 0)
+	j.span = sp
+}
+
+// ReturnEscape hands the span to the caller.
+func ReturnEscape(tr *Tracer) uint64 {
+	sp := tr.Start("task", 0)
+	return sp
+}
+
+// HelperEscape hands the span to arbitrary non-Tracer code, which owns
+// it from there.
+func HelperEscape(tr *Tracer, fail bool) {
+	sp := tr.Start("task", 0)
+	if fail {
+		finish(sp)
+		return
+	}
+	tr.End(sp)
+}
+
+// Rebind reuses one variable for two sequential spans; each lifecycle
+// settles before the next begins.
+func Rebind(tr *Tracer) {
+	sp := tr.Start("phase1", 0)
+	tr.End(sp)
+	sp = tr.Start("phase2", 0)
+	tr.End(sp)
+}
+
+// ParentArg uses one span as another Start's parent — annotation, not
+// consumption — and Ends both.
+func ParentArg(tr *Tracer) {
+	root := tr.Start("root", 0)
+	child := tr.Start("child", root)
+	tr.End(child)
+	tr.End(root)
+}
