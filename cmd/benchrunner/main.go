@@ -19,6 +19,15 @@
 //	benchrunner -exp fig7f -shards 4  # sharded kernel on 4 window workers
 //	benchrunner -exp fig8b -trace t.json   # Chrome trace of every engine
 //	benchrunner -exp fig8b -metrics        # dump each engine's registry
+//	benchrunner -exp fig7f -critpath cp.txt  # critical-path attribution
+//
+// -critpath arms span recording on every engine and writes the
+// deterministic critical-path report (internal/obs/critpath) for the
+// whole run: per experiment × root-span kind, top-K slowest paths,
+// per-kind time attribution, retry/rebuild share. Same flags →
+// byte-identical file; diff two runs with `critdiff a.txt b.txt`.
+// `benchrunner -spans` prints the span/metric taxonomy tables that
+// OBSERVABILITY.md embeds (and docs_test.go byte-gates).
 package main
 
 import (
@@ -27,6 +36,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -48,6 +58,8 @@ func main() {
 		jsonPath = flag.String("jsonout", "", "write the perf record to this path instead of BENCH_<preset>.json (implies -json); lets CI produce a fresh record without clobbering the committed baseline")
 		trace    = flag.String("trace", "", "write a Chrome trace_event JSON of every engine to this file (forces serial execution)")
 		metrics  = flag.Bool("metrics", false, "dump each engine's metrics registry to stdout (forces serial execution)")
+		critPath = flag.String("critpath", "", "write the deterministic critical-path report of every engine to this file (forces serial execution)")
+		spans    = flag.Bool("spans", false, "print the span and metric taxonomy tables (the generated half of OBSERVABILITY.md) and exit")
 		shards   = flag.Int("shards", 0, "run shard-aware experiments (fig7f, fig10) on the sharded kernel with N window workers (0 = legacy single-engine path)")
 	)
 	flag.Parse()
@@ -57,6 +69,14 @@ func main() {
 		for _, s := range experiment.Registry() {
 			fmt.Printf("  %-10s %s\n", s.ID, s.Artifact)
 		}
+		return
+	}
+	if *spans {
+		// The exact blocks OBSERVABILITY.md embeds; docs_test.go byte-gates
+		// them, so paste this output verbatim when the taxonomy changes.
+		fmt.Print(obs.SpanTaxonomyMarkdown())
+		fmt.Println()
+		fmt.Print(obs.MetricTaxonomyMarkdown())
 		return
 	}
 
@@ -95,7 +115,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	if p, warn := serialOverride(*parallel, *trace != "", *metrics); p != *parallel || warn != "" {
+	if p, warn := serialOverride(*parallel, *trace != "", *metrics, *critPath != ""); p != *parallel || warn != "" {
 		*parallel = p
 		if warn != "" {
 			fmt.Fprintln(os.Stderr, warn)
@@ -112,8 +132,8 @@ func main() {
 	fmt.Fprintf(os.Stderr, "-- %d experiment(s), %s preset, %d worker(s)\n", len(specs), preset, *parallel)
 	suiteStart := time.Now()
 	var results []experiment.Result
-	if *trace != "" || *metrics {
-		results = runObserved(specs, params, *trace, *metrics, emit)
+	if *trace != "" || *metrics || *critPath != "" {
+		results = runObserved(specs, params, *trace, *critPath, *metrics, emit)
 	} else {
 		results = experiment.RunConcurrent(specs, params, *parallel, emit)
 	}
@@ -134,27 +154,30 @@ func main() {
 }
 
 // serialOverride resolves the worker-pool size when an observability flag
-// is set: engine collection is goroutine-scoped, so -trace and -metrics
-// force the experiments onto the calling goroutine. When that overrides a
-// multi-worker request (including the GOMAXPROCS default), the returned
-// warning says so on stderr instead of silently dropping the parallelism.
-func serialOverride(parallel int, trace, metrics bool) (int, string) {
-	if !trace && !metrics {
+// is set: engine collection is goroutine-scoped, so -trace, -metrics and
+// -critpath force the experiments onto the calling goroutine. When that
+// overrides a multi-worker request (including the GOMAXPROCS default),
+// the returned warning says so on stderr instead of silently dropping the
+// parallelism.
+func serialOverride(parallel int, trace, metrics, critpath bool) (int, string) {
+	if !trace && !metrics && !critpath {
 		return parallel, ""
 	}
 	if parallel == 1 {
 		return 1, ""
 	}
-	var flags string
-	switch {
-	case trace && metrics:
-		flags = "-trace and -metrics"
-	case trace:
-		flags = "-trace"
-	default:
-		flags = "-metrics"
+	var set []string
+	if trace {
+		set = append(set, "-trace")
 	}
-	return 1, fmt.Sprintf("-- %s forces serial execution (engine collection is goroutine-scoped); overriding -parallel %d", flags, parallel)
+	if metrics {
+		set = append(set, "-metrics")
+	}
+	if critpath {
+		set = append(set, "-critpath")
+	}
+	return 1, fmt.Sprintf("-- %s forces serial execution (engine collection is goroutine-scoped); overriding -parallel %d",
+		strings.Join(set, " and "), parallel)
 }
 
 // runObserved executes specs serially on the calling goroutine, arming
@@ -163,27 +186,24 @@ func serialOverride(parallel int, trace, metrics bool) (int, string) {
 // The Chrome file gets one process per engine — pid is the engine's index
 // across the whole run, the process name carries the experiment ID and the
 // engine's seed — and -metrics dumps each engine's registry in the same
-// order. Engines record passively, so tables stay byte-identical to an
-// untraced run.
-func runObserved(specs []experiment.Spec, params experiment.Params, tracePath string, metrics bool, emit func(experiment.Result)) []experiment.Result {
-	type observed struct {
-		exp string
-		e   *simnet.Engine
-	}
-	var all []observed
+// order. -critpath feeds the same engines, with the same labels, through
+// experiment.CritpathReport. Engines record passively, so tables stay
+// byte-identical to an untraced run.
+func runObserved(specs []experiment.Spec, params experiment.Params, tracePath, critPath string, metrics bool, emit func(experiment.Result)) []experiment.Result {
+	var all []experiment.TracedEngine
 	results := make([]experiment.Result, 0, len(specs))
 	for _, s := range specs {
 		start := time.Now()
 		var tables []*experiment.Table
 		engines := simnet.CollectEngines(func(e *simnet.Engine) {
-			if tracePath != "" {
+			if tracePath != "" || critPath != "" {
 				e.EnableTracing()
 			}
 		}, func() { tables = s.Run(params) })
 		r := experiment.Result{Spec: s, Tables: tables, Wall: time.Since(start)}
 		for _, e := range engines {
 			r.Events += e.Processed()
-			all = append(all, observed{exp: s.ID, e: e})
+			all = append(all, experiment.TracedEngine{Exp: s.ID, E: e})
 		}
 		results = append(results, r)
 		if emit != nil {
@@ -196,8 +216,8 @@ func runObserved(specs []experiment.Spec, params experiment.Params, tracePath st
 		for i, o := range all {
 			procs = append(procs, obs.Process{
 				PID:  i,
-				Name: fmt.Sprintf("%s engine %d seed %d", o.exp, i, o.e.Seed()),
-				T:    o.e.Tracer(),
+				Name: fmt.Sprintf("%s engine %d seed %d", o.Exp, i, o.E.Seed()),
+				T:    o.E.Tracer(),
 			})
 		}
 		f, err := os.Create(tracePath)
@@ -215,10 +235,27 @@ func runObserved(specs []experiment.Spec, params experiment.Params, tracePath st
 		}
 		fmt.Fprintf(os.Stderr, "-- trace: %d engine(s) -> %s\n", len(procs), tracePath)
 	}
+	if critPath != "" {
+		rep := experiment.CritpathReport(all, 5)
+		f, err := os.Create(critPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := rep.WriteText(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "-- critpath: %d source(s) -> %s\n", rep.Sources, critPath)
+	}
 	if metrics {
 		for i, o := range all {
-			fmt.Printf("metrics %s engine %d seed %d:\n", o.exp, i, o.e.Seed())
-			o.e.Metrics().WriteText(os.Stdout)
+			fmt.Printf("metrics %s engine %d seed %d:\n", o.Exp, i, o.E.Seed())
+			o.E.Metrics().WriteText(os.Stdout)
 		}
 	}
 	return results

@@ -5,30 +5,34 @@ import (
 	"testing"
 )
 
-// TestSerialOverride pins the -trace/-metrics serial-execution override:
-// observability runs must drop to one worker, and doing so over a
-// multi-worker request (explicit or the GOMAXPROCS default) must produce
+// TestSerialOverride pins the -trace/-metrics/-critpath serial-execution
+// override: observability runs must drop to one worker, and doing so over
+// a multi-worker request (explicit or the GOMAXPROCS default) must produce
 // a warning naming the responsible flag — never a silent downgrade.
 func TestSerialOverride(t *testing.T) {
 	cases := []struct {
-		name           string
-		parallel       int
-		trace, metrics bool
-		want           int
-		warnContains   []string // empty slice = no warning expected
+		name                     string
+		parallel                 int
+		trace, metrics, critpath bool
+		want                     int
+		warnContains             []string // empty slice = no warning expected
 	}{
 		{name: "no observability flags", parallel: 8, want: 8},
 		{name: "trace forces serial", parallel: 8, trace: true, want: 1,
 			warnContains: []string{"-trace", "forces serial", "-parallel 8"}},
 		{name: "metrics forces serial", parallel: 4, metrics: true, want: 1,
 			warnContains: []string{"-metrics", "forces serial", "-parallel 4"}},
+		{name: "critpath forces serial", parallel: 6, critpath: true, want: 1,
+			warnContains: []string{"-critpath", "forces serial", "-parallel 6"}},
 		{name: "both flags named", parallel: 2, trace: true, metrics: true, want: 1,
 			warnContains: []string{"-trace and -metrics", "-parallel 2"}},
+		{name: "all three flags named", parallel: 3, trace: true, metrics: true, critpath: true, want: 1,
+			warnContains: []string{"-trace and -metrics and -critpath", "-parallel 3"}},
 		{name: "already serial stays silent", parallel: 1, trace: true, want: 1},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			got, warn := serialOverride(tc.parallel, tc.trace, tc.metrics)
+			got, warn := serialOverride(tc.parallel, tc.trace, tc.metrics, tc.critpath)
 			if got != tc.want {
 				t.Errorf("parallel = %d, want %d", got, tc.want)
 			}

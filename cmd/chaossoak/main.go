@@ -16,6 +16,7 @@
 //	chaossoak -loss 0.05 -dup 0.05    # crank the network adversities
 //	chaossoak -trace soak.json        # Chrome/Perfetto trace, one pid per seed
 //	chaossoak -metrics                # dump each seed's metrics registry
+//	chaossoak -critpath cp.txt        # critical-path attribution per seed
 //	chaossoak -shards 4               # sharded kernel soak on 4 workers
 //	chaossoak -reconcile              # chaos campaign under the reconciler
 //	chaossoak -reconcile -spec s.json # custom spec schedule for the soak
@@ -25,6 +26,15 @@
 // cells, executed on N worker goroutines. The report is byte-identical
 // for ANY N — only wall-clock changes. -trace and -metrics apply to the
 // single-engine soak only.
+//
+// -critpath arms span recording and writes the deterministic
+// critical-path report (internal/obs/critpath): per root-span kind, the
+// top-K slowest broadcasts with their hop chains, per-kind time
+// attribution, and retry/rebuild share. It works on both the
+// single-engine and -shards soaks — on the sharded kernel the per-cell
+// recordings are stitched across cells and the report is byte-identical
+// at ANY worker count. Diff two reports with `critdiff a.txt b.txt`.
+// Not available with -reconcile.
 //
 // With -reconcile the soak overlays the full fault campaign on a
 // reconciler driving a timed spec schedule (chaos.ReconcileSoak) and
@@ -42,8 +52,28 @@ import (
 
 	"eslurm/internal/chaos"
 	"eslurm/internal/obs"
+	"eslurm/internal/obs/critpath"
 	"eslurm/internal/reconcile"
 )
+
+// writeCritpath writes the critical-path report to path (exit 2 on I/O
+// failure, matching the other artifact writers).
+func writeCritpath(path string, rep *critpath.Report) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaossoak:", err)
+		os.Exit(2)
+	}
+	if err := rep.WriteText(f); err != nil {
+		fmt.Fprintln(os.Stderr, "chaossoak:", err)
+		os.Exit(2)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "chaossoak:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("critpath: %d seed(s) -> %s\n", rep.Sources, path)
+}
 
 func main() {
 	cfg := chaos.DefaultConfig()
@@ -58,12 +88,18 @@ func main() {
 	dup := flag.Float64("dup", cfg.DupProb, "message duplication probability")
 	silent := flag.Float64("silent", cfg.SilentFraction, "fraction of fail-stops hidden from monitoring")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of every seed to this file")
+	critPath := flag.String("critpath", "", "write the deterministic critical-path report of every seed to this file")
 	metrics := flag.Bool("metrics", false, "dump each seed's metrics registry after the report")
 	shards := flag.Int("shards", 0, "run the sharded kernel soak on N workers (0 = single-engine soak)")
 	reconcileMode := flag.Bool("reconcile", false, "overlay the campaign on a reconciler and assert convergence (chaos.ReconcileSoak)")
 	target := flag.Int("target", 0, "reconcile mode: initial in-service satellite target (0 = default)")
 	specPath := flag.String("spec", "", "reconcile mode: spec/schedule JSON replacing the built-in schedule")
 	flag.Parse()
+
+	if *reconcileMode && *critPath != "" {
+		fmt.Fprintln(os.Stderr, "chaossoak: -critpath is not available with -reconcile (the reconcile soak records no spans)")
+		os.Exit(2)
+	}
 
 	if *reconcileMode {
 		// The reconcile soak has its own calibrated defaults (more
@@ -127,8 +163,12 @@ func main() {
 			Bound:      *bound,
 			LossProb:   *loss,
 			DupProb:    *dup,
+			Trace:      *critPath != "",
 		})
 		fmt.Print(rep.String())
+		if *critPath != "" {
+			writeCritpath(*critPath, rep.CritpathReport(5))
+		}
 		if rep.Violations() > 0 {
 			os.Exit(1)
 		}
@@ -145,10 +185,14 @@ func main() {
 	cfg.LossProb = *loss
 	cfg.DupProb = *dup
 	cfg.SilentFraction = *silent
-	cfg.Trace = *tracePath != ""
+	cfg.Trace = *tracePath != "" || *critPath != ""
 
 	rep := chaos.Soak(cfg)
 	fmt.Print(rep.String())
+
+	if *critPath != "" {
+		writeCritpath(*critPath, rep.CritpathReport(5))
+	}
 
 	if *tracePath != "" {
 		// One trace process per seed, pid = seed, so Perfetto shows the

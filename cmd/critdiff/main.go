@@ -1,0 +1,59 @@
+// Command critdiff aligns two critical-path reports (written by
+// `benchrunner -critpath` or `chaossoak -critpath`) and prints which
+// span kinds gained or lost critical time between them — the
+// regression-hunting view the perf gate's wall-clock numbers can't give.
+// Reports are self-verifying (digest trailer), so a truncated or edited
+// input is rejected rather than silently mis-diffed; the diff itself is
+// byte-stable for the same pair of inputs.
+//
+// Usage:
+//
+//	critdiff before.txt after.txt
+//
+// Groups present in only one report are marked "(only in A/B)"; movers
+// are sorted by |delta|, largest first. Exit status 2 on unreadable or
+// unverifiable inputs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"eslurm/internal/obs/critpath"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: critdiff <reportA> <reportB>")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	a := load(flag.Arg(0))
+	b := load(flag.Arg(1))
+	d := critpath.Diff(a, b, flag.Arg(0), flag.Arg(1))
+	if err := d.WriteText(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "critdiff:", err)
+		os.Exit(2)
+	}
+}
+
+// load parses and digest-verifies one report file.
+func load(path string) *critpath.Report {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "critdiff:", err)
+		os.Exit(2)
+	}
+	defer f.Close()
+	rep, err := critpath.Parse(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "critdiff: %s: %v\n", path, err)
+		os.Exit(2)
+	}
+	return rep
+}

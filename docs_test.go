@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"eslurm/internal/lint"
+	"eslurm/internal/obs"
 )
 
 // TestREADMEAnalyzerTable pins the README's analyzer table to the linter
@@ -39,6 +40,28 @@ func TestREADMEAnalyzerTable(t *testing.T) {
 	}
 }
 
+// TestObservabilityTaxonomyTables pins OBSERVABILITY.md's span and
+// metric tables to the registries in internal/obs/taxonomy.go, byte for
+// byte, in the exact format `benchrunner -spans` prints. A taxonomy
+// change without a handbook update fails here with the block to paste
+// (and the taxonomy itself is pinned to the emit sites by the
+// completeness tests in internal/obs).
+func TestObservabilityTaxonomyTables(t *testing.T) {
+	doc, err := os.ReadFile("OBSERVABILITY.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range map[string]string{
+		"span":   obs.SpanTaxonomyMarkdown(),
+		"metric": obs.MetricTaxonomyMarkdown(),
+	} {
+		if !strings.Contains(string(doc), want) {
+			t.Errorf("OBSERVABILITY.md %s table drifted from the obs taxonomy.\n"+
+				"Replace it with the matching block from `go run ./cmd/benchrunner -spans`:\n\n%s", name, want)
+		}
+	}
+}
+
 // mdLink matches inline markdown links/images; the destination is group 1.
 var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
 
@@ -46,7 +69,7 @@ var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
 // relative link destination exists on disk. External URLs and pure
 // in-page anchors are out of scope — only file references can rot here.
 func TestMarkdownLinksResolve(t *testing.T) {
-	for _, doc := range []string{"README.md", "DESIGN.md", "EXPERIMENTS.md"} {
+	for _, doc := range []string{"README.md", "DESIGN.md", "EXPERIMENTS.md", "OBSERVABILITY.md"} {
 		data, err := os.ReadFile(doc)
 		if err != nil {
 			t.Fatal(err)

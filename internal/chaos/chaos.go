@@ -146,6 +146,10 @@ type SeedResult struct {
 	// Digest — the report stays byte-stable with tracing on or off.
 	Trace   *obs.Tracer
 	Metrics *obs.Registry
+	// CellTraces holds the per-cell span recordings of a sharded seed in
+	// cell order (nil unless ShardedConfig.Trace). Flatten with
+	// critpath.FromCells; like Trace, it never touches the report bytes.
+	CellTraces []*obs.Tracer
 }
 
 // Report is a full soak's outcome. Its String form is byte-stable for a

@@ -50,6 +50,10 @@ type ShardedConfig struct {
 	Fails, Grays, Partitions, Degrades int
 	// LossProb and DupProb are the network adversities (default 0.01).
 	LossProb, DupProb float64
+	// Trace arms per-cell span recording: each SeedResult carries its
+	// CellTraces for critical-path analysis. Recording is passive (no
+	// events, no RNG), so the report and kernel digest are unchanged.
+	Trace bool
 }
 
 func (c ShardedConfig) withDefaults() ShardedConfig {
@@ -192,6 +196,9 @@ func RunShardedSeed(cfg ShardedConfig, seed int64) SeedResult {
 	})
 	g := sc.Group()
 	g.EnableDigest()
+	if cfg.Trace {
+		g.EnableTracing()
+	}
 	e0 := g.Cell(0)
 	master := sc.Master().ID
 
@@ -273,6 +280,9 @@ func RunShardedSeed(cfg ShardedConfig, seed int64) SeedResult {
 
 	sr.Events = g.Processed()
 	sr.KernelDigest = g.Digest()
+	if cfg.Trace {
+		sr.CellTraces = g.CellTracers()
+	}
 
 	// Invariant 4 (no stalls): every driven broadcast resolved by drain.
 	if sr.Broadcasts != cfg.Broadcasts {

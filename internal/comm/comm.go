@@ -645,6 +645,10 @@ func broadcastTree(b *Broadcaster, structure string, origin cluster.NodeID, tr *
 			}
 			// Fault tolerance: the parent adopts the failed child's
 			// children and contacts them directly.
+			if len(n.Children) > 0 {
+				e.Tracer().Instant("comm.adopt", t.span,
+					obs.Int("failed", int(n.Value)), obs.Int("children", len(n.Children)))
+			}
 			for _, ch := range n.Children {
 				dispatch(from, ch)
 			}
@@ -788,6 +792,10 @@ func (Binomial) Broadcast(b *Broadcaster, origin cluster.NodeID, targets []clust
 				return
 			}
 			// Fault tolerance: the holder keeps both halves.
+			if hi-lo > 1 {
+				b.engine().Tracer().Instant("comm.adopt", t.span,
+					obs.Int("failed", int(head)), obs.Int("children", hi-lo-1))
+			}
 			relay(holder, mid, hi)
 			relay(holder, lo+1, mid)
 		})

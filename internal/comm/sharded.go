@@ -5,6 +5,7 @@ import (
 
 	"eslurm/internal/cluster"
 	"eslurm/internal/fptree"
+	"eslurm/internal/obs"
 )
 
 // ShardBroadcaster is the broadcast layer over a sharded cluster: the
@@ -24,9 +25,15 @@ import (
 //     instruments are per-cell registries folded by MergedMetrics. No
 //     state is shared across cells — notifications ride the shard group's
 //     deterministic cross-cell channel.
-//   - Tracing spans are not recorded (per-cell tracers cannot share one
-//     span tree); metrics cover the same counters the chaos invariants
-//     check.
+//   - Tracing spans land on the tracer of the cell executing the
+//     instrumented code (spans are worker-count-invariant because the
+//     per-cell event streams are). A span whose logical parent lives on
+//     another cell's tracer records the "xparent" attribute
+//     (obs.CellRef) instead of a parent id; critpath.FromCells resolves
+//     those hand-offs when flattening the per-cell recordings into one
+//     DAG. Span names and semantics match the single-engine
+//     Broadcaster: comm.broadcast, comm.send, comm.retry, comm.adopt,
+//     fptree.build.
 type ShardBroadcaster struct {
 	C *cluster.ShardedCluster
 	// Retries is the number of connection attempts per link (paper: 3),
@@ -46,11 +53,55 @@ type ShardBroadcaster struct {
 	// OnResolve, when non-nil, fires exactly once per (broadcast, target)
 	// on the origin's cell at the instant the target resolves.
 	OnResolve func(to cluster.NodeID, ok bool)
+	// SpanParent / SpanParentCell, when SpanParent is non-zero, parent
+	// the next broadcast's root span (the sharded analogue of
+	// Broadcaster.SpanParent: the caller sets them immediately before a
+	// Broadcast* call, and the tracker consumes and clears them). The
+	// parent span must live on SpanParentCell's tracer.
+	SpanParent     obs.SpanID
+	SpanParentCell int
 
 	// Per-cell state, indexed by cell: each entry is touched only by that
 	// cell's events (or the idle coordinator).
 	limiters []map[cluster.NodeID]*limiter
 	ins      []*instruments
+}
+
+// spanRef locates a span across cells: the tracer that recorded it
+// (cell) and its id there. The zero ref means "no parent".
+type spanRef struct {
+	cell int
+	id   obs.SpanID
+}
+
+// startSpan opens a span on cell's tracer under the given cross-cell
+// parent: same-cell parents link directly; remote ones ride the
+// "xparent" attribute. Nil-tracer cells record nothing (returns 0).
+func (b *ShardBroadcaster) startSpan(name string, cell int, parent spanRef, attrs ...obs.Attr) obs.SpanID {
+	tr := b.C.Group().Cell(cell).Tracer()
+	if tr == nil {
+		return 0
+	}
+	if parent.id != 0 && parent.cell != cell {
+		attrs = append([]obs.Attr{obs.String("xparent", obs.CellRef(parent.cell, parent.id))}, attrs...)
+		return tr.Start(name, 0, attrs...)
+	}
+	return tr.Start(name, parent.id, attrs...)
+}
+
+// instantSpan records an instant on cell's tracer under the cross-cell
+// parent, with the same hand-off rule as startSpan.
+func (b *ShardBroadcaster) instantSpan(name string, cell int, parent spanRef, attrs ...obs.Attr) {
+	tr := b.C.Group().Cell(cell).Tracer()
+	if tr == nil {
+		return
+	}
+	if parent.id != 0 && parent.cell != cell {
+		attrs = append([]obs.Attr{obs.String("xparent", obs.CellRef(parent.cell, parent.id))}, attrs...)
+		tr.Instant(name, 0, attrs...)
+		return
+	}
+	tr.Instant(name, parent.id, attrs...)
 }
 
 // NewShardBroadcaster returns a ShardBroadcaster with the paper's
@@ -109,11 +160,14 @@ func (b *ShardBroadcaster) OutstandingSends() int {
 // (duplicates are deduplicated here, so relays forward once). onResolved
 // runs on from's cell exactly once with the outcome and the chain's
 // message/retry counts.
-func (b *ShardBroadcaster) send(from, to cluster.NodeID, size int, onArrive func(), onResolved func(ok bool, msgs, retries int)) {
+func (b *ShardBroadcaster) send(from, to cluster.NodeID, size int, parent spanRef, onArrive func(), onResolved func(ok bool, msgs, retries int)) {
 	e := b.C.Engine(from)
-	in := b.ins[b.C.CellOf(from)]
+	fromCell := b.C.CellOf(from)
+	in := b.ins[fromCell]
 	lim := b.limiter(from)
 	in.outstanding.Add(1)
+	tr := e.Tracer()
+	span := b.startSpan("comm.send", fromCell, parent, obs.Int("from", int(from)), obs.Int("to", int(to)))
 	lim.acquire(func() {
 		attempts, msgs, retries := 0, 0, 0
 		resolved := false
@@ -121,6 +175,11 @@ func (b *ShardBroadcaster) send(from, to cluster.NodeID, size int, onArrive func
 		settle := func(ok bool) {
 			resolved = true
 			in.outstanding.Add(-1)
+			tr.SetAttrInt(span, "attempts", attempts)
+			if !ok {
+				tr.SetAttr(span, "ok", "false")
+			}
+			tr.End(span)
 			lim.release()
 			onResolved(ok, msgs, retries)
 		}
@@ -132,6 +191,7 @@ func (b *ShardBroadcaster) send(from, to cluster.NodeID, size int, onArrive func
 			if attempts > 1 {
 				retries++
 				in.retries.Inc()
+				tr.Instant("comm.retry", span, obs.Int("attempt", attempts))
 			}
 			b.C.Node(from).Meter.ChargeCPU(b.SendOverhead)
 			e.After(b.SendOverhead, func() {
@@ -171,7 +231,9 @@ func (b *ShardBroadcaster) send(from, to cluster.NodeID, size int, onArrive func
 // retry policy, outside any broadcast. cb (may be nil) runs on from's
 // cell with true on acknowledged delivery.
 func (b *ShardBroadcaster) SendOne(from, to cluster.NodeID, size int, cb func(ok bool)) {
-	b.send(from, to, size, nil, func(ok bool, _, _ int) {
+	parent := spanRef{cell: b.SpanParentCell, id: b.SpanParent}
+	b.SpanParent, b.SpanParentCell = 0, 0
+	b.send(from, to, size, parent, nil, func(ok bool, _, _ int) {
 		if cb != nil {
 			cb(ok)
 		}
@@ -179,6 +241,8 @@ func (b *ShardBroadcaster) SendOne(from, to cluster.NodeID, size int, cb func(ok
 }
 
 // shardTracker finalizes one broadcast's Result on the origin's cell.
+// It owns the broadcast's comm.broadcast span, recorded on the origin
+// cell's tracer.
 type shardTracker struct {
 	b       *ShardBroadcaster
 	origin  cluster.NodeID
@@ -186,10 +250,21 @@ type shardTracker struct {
 	pending int
 	res     Result
 	done    func(Result)
+	span    obs.SpanID
 }
 
-func (b *ShardBroadcaster) newTracker(origin cluster.NodeID, pending int, done func(Result)) *shardTracker {
+// ref returns the tracker's broadcast span as a cross-cell reference for
+// parenting spans recorded on other cells.
+func (t *shardTracker) ref() spanRef {
+	return spanRef{cell: t.b.C.CellOf(t.origin), id: t.span}
+}
+
+func (b *ShardBroadcaster) newTracker(origin cluster.NodeID, structure string, pending int, done func(Result)) *shardTracker {
 	t := &shardTracker{b: b, origin: origin, start: b.C.Engine(origin).Now(), pending: pending, done: done}
+	parent := spanRef{cell: b.SpanParentCell, id: b.SpanParent}
+	b.SpanParent, b.SpanParentCell = 0, 0
+	t.span = b.startSpan("comm.broadcast", b.C.CellOf(origin), parent,
+		obs.String("structure", structure), obs.Int("targets", pending))
 	if pending == 0 {
 		t.finish()
 	}
@@ -225,6 +300,11 @@ func (t *shardTracker) resolve(id cluster.NodeID, ok bool, msgs, retries int) {
 func (t *shardTracker) finish() {
 	t.res.Elapsed = t.b.C.Engine(t.origin).Now() - t.start
 	t.b.ins[t.b.C.CellOf(t.origin)].elapsed.Observe(int64(t.res.Elapsed))
+	if tr := t.b.C.Engine(t.origin).Tracer(); tr != nil {
+		tr.SetAttrInt(t.span, "delivered", t.res.Delivered)
+		tr.SetAttrInt(t.span, "unreachable", len(t.res.Unreachable))
+		tr.End(t.span)
+	}
 	if t.done != nil {
 		t.done(t.res)
 	}
@@ -250,10 +330,10 @@ func (b *ShardBroadcaster) notifyResolve(t *shardTracker, sender, id cluster.Nod
 // every target, bounded by the origin's MaxConcurrent slots. done (may
 // be nil) runs on the origin's cell exactly once.
 func (b *ShardBroadcaster) BroadcastStar(origin cluster.NodeID, targets []cluster.NodeID, size int, done func(Result)) {
-	t := b.newTracker(origin, len(targets), done)
+	t := b.newTracker(origin, "star", len(targets), done)
 	for _, id := range targets {
 		id := id
-		b.send(origin, id, size, nil, func(ok bool, msgs, retries int) {
+		b.send(origin, id, size, t.ref(), nil, func(ok bool, msgs, retries int) {
 			b.notifyResolve(t, origin, id, ok, msgs, retries)
 		})
 	}
@@ -269,8 +349,14 @@ func (b *ShardBroadcaster) BroadcastTree(origin cluster.NodeID, targets []cluste
 	if width <= 0 {
 		width = fptree.DefaultWidth
 	}
+	// The build span is a sibling of the broadcast span, like the
+	// single-engine KTree: both parent under the caller's SpanParent.
+	buildParent := spanRef{cell: b.SpanParentCell, id: b.SpanParent}
+	span := b.startSpan("fptree.build", b.C.CellOf(origin), buildParent,
+		obs.Int("targets", len(targets)), obs.Int("width", width))
 	tr := fptree.Build(append([]cluster.NodeID(nil), targets...), width)
-	t := b.newTracker(origin, tr.Size(), done)
+	b.C.Engine(origin).Tracer().End(span)
+	t := b.newTracker(origin, "tree", tr.Size(), done)
 	b.dispatchTree(t, origin, tr.Roots, size)
 }
 
@@ -279,7 +365,7 @@ func (b *ShardBroadcaster) dispatchTree(t *shardTracker, from cluster.NodeID, no
 	for _, n := range nodes {
 		n := n
 		sz := size + subtreeCount(n)*b.PerNodeListBytes
-		b.send(from, n.Value, sz,
+		b.send(from, n.Value, sz, t.ref(),
 			func() { // payload at the relay: forward to children
 				if len(n.Children) == 0 {
 					return
@@ -298,6 +384,10 @@ func (b *ShardBroadcaster) dispatchTree(t *shardTracker, from cluster.NodeID, no
 				if !ok {
 					// Parent adoption: contact the orphaned children
 					// directly from this sender.
+					if len(n.Children) > 0 {
+						b.instantSpan("comm.adopt", b.C.CellOf(from), t.ref(),
+							obs.Int("failed", int(n.Value)), obs.Int("children", len(n.Children)))
+					}
 					b.dispatchTree(t, from, n.Children, size)
 				}
 			})
@@ -320,7 +410,7 @@ func (b *ShardBroadcaster) BroadcastRelayed(origin cluster.NodeID, relays, targe
 	if width <= 0 {
 		width = fptree.DefaultWidth
 	}
-	t := b.newTracker(origin, len(targets), done)
+	t := b.newTracker(origin, "relayed", len(targets), done)
 	per := (len(targets) + len(relays) - 1) / len(relays)
 	for i, relay := range relays {
 		lo := i * per
@@ -332,9 +422,12 @@ func (b *ShardBroadcaster) BroadcastRelayed(origin cluster.NodeID, relays, targe
 			hi = len(targets)
 		}
 		relay, group := relay, targets[lo:hi]
+		span := b.startSpan("fptree.build", b.C.CellOf(origin), t.ref(),
+			obs.Int("targets", len(group)), obs.Int("width", width))
 		tr := fptree.Build(append([]cluster.NodeID(nil), group...), width)
+		b.C.Engine(origin).Tracer().End(span)
 		taskSz := size + len(group)*b.PerNodeListBytes
-		b.send(origin, relay, taskSz,
+		b.send(origin, relay, taskSz, t.ref(),
 			func() { // task at the relay: fan the group out
 				d := b.RelayOverhead
 				if g := b.C.GrayFactorOn(relay, relay); g > 1 {

@@ -1,0 +1,141 @@
+package critpath_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"eslurm/internal/obs"
+	"eslurm/internal/obs/critpath"
+)
+
+func TestDiffDisjointSpanSets(t *testing.T) {
+	// A and B share no span kinds and no group keys: every group is
+	// one-sided, and every kind shows its full time as the delta.
+	a := critpath.Analyze([]critpath.Source{{Label: "a", Group: "ga", Spans: []obs.Span{
+		span("master.broadcast", 0, 0, 100),
+		span("comm.send", 1, 10, 90),
+	}}}, critpath.Options{})
+	b := critpath.Analyze([]critpath.Source{{Label: "b", Group: "gb", Spans: []obs.Span{
+		span("sched.job", 0, 0, 200),
+		span("fptree.plan", 1, 50, 180),
+	}}}, critpath.Options{})
+
+	d := critpath.Diff(a, b, "runA", "runB")
+	if len(d.Groups) != 2 {
+		t.Fatalf("groups = %d, want 2\n%s", len(d.Groups), d.String())
+	}
+	text := d.String()
+	if !strings.Contains(text, "(only in A)") || !strings.Contains(text, "(only in B)") {
+		t.Fatalf("one-sided groups not flagged:\n%s", text)
+	}
+	// Every kind delta is the kind's full time, signed by side.
+	for _, g := range d.Groups {
+		for _, k := range g.Kinds {
+			if g.InA && !g.InB && (k.TimeB != 0 || k.Delta() != -k.TimeA) {
+				t.Errorf("A-only kind %s: delta %v, want %v", k.Name, k.Delta(), -k.TimeA)
+			}
+			if g.InB && !g.InA && (k.TimeA != 0 || k.Delta() != k.TimeB) {
+				t.Errorf("B-only kind %s: delta %v, want %v", k.Name, k.Delta(), k.TimeB)
+			}
+		}
+	}
+	// Movers ranked by |delta|: fptree.plan's +130ns outranks
+	// comm.send's -80ns regardless of sign.
+	if len(d.Movers) != 4 || d.Movers[0].Kind != "fptree.plan" || d.Movers[1].Kind != "comm.send" {
+		t.Fatalf("mover ranking %+v, want fptree.plan then comm.send\n%s", d.Movers, text)
+	}
+}
+
+func TestDiffSharedGroups(t *testing.T) {
+	mk := func(sendEnd time.Duration) *critpath.Report {
+		return critpath.Analyze([]critpath.Source{{Label: "s", Group: "soak", Spans: []obs.Span{
+			span("master.broadcast", 0, 0, 100),
+			span("comm.send", 1, 10, sendEnd),
+		}}}, critpath.Options{})
+	}
+	d := critpath.Diff(mk(60), mk(90), "before", "after")
+	if len(d.Groups) != 1 {
+		t.Fatalf("groups = %d, want 1", len(d.Groups))
+	}
+	g := d.Groups[0]
+	if !g.InA || !g.InB {
+		t.Fatal("shared group flagged one-sided")
+	}
+	var send critpath.KindDiff
+	for _, k := range g.Kinds {
+		if k.Name == "comm.send" {
+			send = k
+		}
+	}
+	if send.Delta() != 30 {
+		t.Errorf("comm.send delta = %v, want +30 (50 -> 80)", send.Delta())
+	}
+	if !strings.Contains(d.String(), "(+30ns)") {
+		t.Errorf("delta not rendered with explicit +:\n%s", d.String())
+	}
+}
+
+func TestDiffIdenticalReportsIsQuiet(t *testing.T) {
+	src := []critpath.Source{{Label: "s", Group: "g", Spans: buildSeedTrace()}}
+	a := critpath.Analyze(src, critpath.Options{})
+	b := critpath.Analyze(src, critpath.Options{})
+	d := critpath.Diff(a, b, "x", "y")
+	if len(d.Movers) != 0 {
+		t.Fatalf("identical reports produced movers: %+v", d.Movers)
+	}
+	if strings.Contains(d.String(), "movers:") {
+		t.Fatalf("quiet diff printed a movers section:\n%s", d.String())
+	}
+}
+
+func TestDiffGolden(t *testing.T) {
+	a := critpath.Analyze([]critpath.Source{{Label: "seed 1", Group: "soak", Spans: buildSeedTrace()}}, critpath.Options{})
+	b := critpath.Analyze([]critpath.Source{{Label: "seed 1", Group: "soak", Spans: []obs.Span{
+		span("master.broadcast", 0, 0, 40000, obs.Int("targets", 4)),
+		span("comm.broadcast", 1, 100, 39000, obs.String("structure", "ktree"), obs.Int("targets", 4)),
+		span("comm.send", 2, 200, 38000),
+	}}}, critpath.Options{})
+	got := critpath.Diff(a, b, "baseline", "candidate").String()
+
+	golden := filepath.Join("testdata", "diff.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal([]byte(got), want) {
+		t.Fatalf("diff drifted from golden (re-run with -update if intended):\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestDiffOverParsedReports(t *testing.T) {
+	// The file-driven path cmd/critdiff uses: serialize both reports,
+	// parse them back, diff the parsed forms. Must match the in-memory
+	// diff byte for byte.
+	a := critpath.Analyze([]critpath.Source{{Label: "seed 1", Group: "soak", Spans: buildSeedTrace()}}, critpath.Options{})
+	b := critpath.Analyze([]critpath.Source{{Label: "b", Group: "other", Spans: []obs.Span{
+		span("sched.job", 0, 0, 500),
+	}}}, critpath.Options{})
+	direct := critpath.Diff(a, b, "A", "B").String()
+
+	pa, err := critpath.Parse(strings.NewReader(a.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := critpath.Parse(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaFiles := critpath.Diff(pa, pb, "A", "B").String()
+	if direct != viaFiles {
+		t.Fatalf("parsed-report diff differs from in-memory diff:\ndirect:\n%s\nvia files:\n%s", direct, viaFiles)
+	}
+}

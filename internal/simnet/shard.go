@@ -233,6 +233,30 @@ func (g *ShardGroup) Digest() uint64 {
 	return h
 }
 
+// EnableTracing arms span recording on every cell's engine. Call before
+// running. Per-cell recordings are worker-count-invariant for the same
+// reason the digests are: each cell's event stream depends only on
+// (seed, topology, lookahead), and spans are recorded by the cell that
+// executes the instrumented code. Flatten the recordings with
+// critpath.FromCells, which resolves the cross-cell "xparent" hand-off
+// attributes into one DAG.
+func (g *ShardGroup) EnableTracing() {
+	for _, c := range g.cells {
+		c.EnableTracing()
+	}
+}
+
+// CellTracers returns each cell's tracer in cell order — the fixed
+// model partition, so the slice layout is worker-count-invariant.
+// Entries are nil when tracing was never enabled.
+func (g *ShardGroup) CellTracers() []*obs.Tracer {
+	ts := make([]*obs.Tracer, len(g.cells))
+	for i, c := range g.cells {
+		ts[i] = c.Tracer()
+	}
+	return ts
+}
+
 // MergedMetrics folds every cell's metrics registry into one fresh
 // registry, in cell order. obs.Merge is order-independent, so the merged
 // snapshot and its byte-stable text dump are worker-count-invariant —
